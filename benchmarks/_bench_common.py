@@ -1,0 +1,48 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper at a reduced scale
+(see DESIGN.md §2 and EXPERIMENTS.md).  The measured series are written to
+``benchmarks/results/<figure>.txt`` so they can be inspected and diffed
+against the paper, and key numbers are attached to the pytest-benchmark
+``extra_info`` of each run.
+
+Environment variables
+---------------------
+REPRO_BENCH_SCALE
+    "tiny" (default), "small" or "paper" — passed to the scenario factories.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+def run_config_map(configs: Dict[str, ExperimentConfig]) -> Dict[str, ExperimentResult]:
+    """Run every configuration in a {label: config} mapping."""
+    return {label: run_experiment(config) for label, config in configs.items()}
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    print(f"\n[{name}] scale={bench_scale()}\n{text}")
+    return path
+
+
+@pytest.fixture
+def scale() -> str:
+    return bench_scale()

@@ -1,0 +1,40 @@
+"""Figure 1: Broadcom switch capacity vs buffer/capacity trend.
+
+This figure is a survey of published hardware data rather than a simulation;
+the benchmark regenerates the table behind it and checks the paper's claim
+that the buffer-to-capacity ratio halved (from ~80 us to ~40 us) between
+Trident2 (2012) and Tomahawk3 (2018).
+"""
+
+from _bench_common import write_result
+
+from repro.analysis.report import format_comparison_table, hardware_trend_table
+
+
+def test_fig01_hardware_trend(benchmark):
+    rows = benchmark.pedantic(hardware_trend_table, rounds=1, iterations=1)
+
+    table = format_comparison_table(
+        "Figure 1: buffer size / switch capacity across Broadcom generations",
+        {
+            row["chip"]: {
+                "year": row["year"],
+                "capacity (Tbps)": row["capacity_tbps"],
+                "buffer (MB)": row["buffer_mb"],
+                "buffer/capacity (us)": row["buffer_over_capacity_us"],
+            }
+            for row in rows
+        },
+        columns=["year", "capacity (Tbps)", "buffer (MB)", "buffer/capacity (us)"],
+        fmt="{:.1f}",
+    )
+    write_result("fig01_hardware_trend", table)
+
+    by_chip = {row["chip"]: row for row in rows}
+    ratio_2012 = by_chip["Trident2"]["buffer_over_capacity_us"]
+    ratio_2018 = by_chip["Tomahawk3"]["buffer_over_capacity_us"]
+    benchmark.extra_info["ratio_2012_us"] = ratio_2012
+    benchmark.extra_info["ratio_2018_us"] = ratio_2018
+    # Paper: the ratio drops by roughly a factor of two over six years.
+    assert ratio_2018 < ratio_2012 / 1.5
+    assert by_chip["Tomahawk3"]["capacity_tbps"] == 10 * by_chip["Trident2"]["capacity_tbps"]

@@ -1,0 +1,39 @@
+"""Figure 2: CDF of switch buffer occupancy for DCQCN (PFC off) vs link speed.
+
+Paper claim: at equal utilisation, higher link speeds leave DCQCN less able to
+control buffer occupancy, so the occupancy distribution shifts right as the
+links get faster.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.buffers import occupancy_cdf, occupancy_percentiles
+from repro.analysis.report import render_cdf_table
+from repro.experiments.scenarios import fig2_configs
+
+
+def test_fig02_dcqcn_buffer_occupancy_vs_link_speed(benchmark):
+    configs = fig2_configs(bench_scale())
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    cdfs = {
+        label: occupancy_cdf(result.buffer_sampler.samples)
+        for label, result in results.items()
+    }
+    table = render_cdf_table(
+        "Figure 2: buffer occupancy CDF, DCQCN without PFC, link speed swept",
+        cdfs,
+        value_label="MB of switch buffer",
+    )
+    write_result("fig02_dcqcn_buffer_cdf", table)
+
+    tails = {
+        label: occupancy_percentiles(result.buffer_sampler.samples)["p99"]
+        for label, result in results.items()
+    }
+    for label, value in tails.items():
+        benchmark.extra_info[f"p99_occupancy_bytes_{label}"] = value
+    # Shape check: the fastest links have at least as much tail occupancy as
+    # the slowest (DCQCN's control weakens as speed grows).
+    assert tails["4x"] >= 0.8 * tails["1x"]
+    assert all(result.completion_rate() > 0.5 for result in results.values())

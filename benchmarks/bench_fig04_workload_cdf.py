@@ -1,0 +1,49 @@
+"""Figure 4: cumulative bytes contributed by flows of different sizes.
+
+Paper claim: in the Google workload the large majority of bytes are in flows
+that fit within one bandwidth-delay product (~100 KB at 100 Gbps / 8 us),
+while WebSearch still carries most of its bytes in multi-megabyte flows.
+"""
+
+from _bench_common import write_result
+
+from repro.analysis.report import render_cdf_table
+from repro.experiments.scenarios import fig4_distributions
+from repro.workloads.distributions import byte_weighted_cdf
+
+
+def compute_cdfs():
+    return {
+        name: byte_weighted_cdf(distribution)
+        for name, distribution in fig4_distributions().items()
+    }
+
+
+def test_fig04_byte_weighted_flow_size_cdf(benchmark):
+    cdfs = benchmark.pedantic(compute_cdfs, rounds=1, iterations=1)
+
+    table = render_cdf_table(
+        "Figure 4: byte-weighted CDF of flow sizes (bytes at or below size)",
+        {
+            name: [(size, fraction) for size, fraction in points]
+            for name, points in cdfs.items()
+        },
+        value_label="flow size (bytes)",
+    )
+    write_result("fig04_workload_cdf", table)
+
+    def bytes_fraction_below(points, size_limit):
+        best = 0.0
+        for size, fraction in points:
+            if size <= size_limit:
+                best = fraction
+        return best
+
+    bdp = 100_000  # one end-to-end BDP at 100 Gbps / 8 us
+    google_below_bdp = bytes_fraction_below(cdfs["Google"], bdp)
+    websearch_below_bdp = bytes_fraction_below(cdfs["WebSearch"], bdp)
+    benchmark.extra_info["google_bytes_below_bdp"] = google_below_bdp
+    benchmark.extra_info["websearch_bytes_below_bdp"] = websearch_below_bdp
+    # Shape checks from the paper's narrative.
+    assert google_below_bdp > 0.5
+    assert websearch_below_bdp < google_below_bdp

@@ -1,0 +1,37 @@
+"""Figure 5a: p99 FCT slowdown vs flow size, Google workload + incast.
+
+Paper claims reproduced (at reduced scale):
+* DCQCN has the worst tail latency of all schemes;
+* adding the window cap (DCQCN+Win) improves it;
+* BFC achieves the best tail latency among realizable schemes and closely
+  tracks Ideal-FQ.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_series_table
+from repro.experiments.scenarios import HEADLINE_SCHEMES, fig5a_configs
+
+
+def test_fig05a_google_with_incast(benchmark):
+    configs = fig5a_configs(bench_scale(), schemes=HEADLINE_SCHEMES)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {scheme: result.slowdown_series() for scheme, result in results.items()}
+    table = format_series_table(
+        "Figure 5a: p99 FCT slowdown vs flow size (Google, 60% load + 5% incast)",
+        series,
+    )
+    write_result("fig05a_google_incast", table)
+
+    tails = {scheme: result.p99_slowdown() for scheme, result in results.items()}
+    for scheme, value in tails.items():
+        benchmark.extra_info[f"p99_{scheme}"] = value
+
+    # Who-wins checks from the paper.
+    assert tails["DCQCN"] >= tails["DCQCN+Win"] * 0.9
+    assert tails["BFC"] <= tails["DCQCN"]
+    assert tails["BFC"] <= 3.0 * max(1.0, tails["Ideal-FQ"])
+    assert all(result.completion_rate() > 0.8 for result in results.values())
+    # BFC must not rely on packet loss.
+    assert results["BFC"].dropped_packets == 0

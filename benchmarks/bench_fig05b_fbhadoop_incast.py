@@ -1,0 +1,26 @@
+"""Figure 5b: p99 FCT slowdown vs flow size, FB_Hadoop workload + incast."""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_series_table
+from repro.experiments.scenarios import HEADLINE_SCHEMES, fig5b_configs
+
+
+def test_fig05b_fb_hadoop_with_incast(benchmark):
+    configs = fig5b_configs(bench_scale(), schemes=HEADLINE_SCHEMES)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {scheme: result.slowdown_series() for scheme, result in results.items()}
+    table = format_series_table(
+        "Figure 5b: p99 FCT slowdown vs flow size (FB_Hadoop, 60% load + 5% incast)",
+        series,
+    )
+    write_result("fig05b_fbhadoop_incast", table)
+
+    tails = {scheme: result.p99_slowdown() for scheme, result in results.items()}
+    for scheme, value in tails.items():
+        benchmark.extra_info[f"p99_{scheme}"] = value
+
+    assert tails["BFC"] <= tails["DCQCN"]
+    assert tails["BFC"] <= 3.0 * max(1.0, tails["Ideal-FQ"])
+    assert all(result.completion_rate() > 0.75 for result in results.values())

@@ -1,0 +1,33 @@
+"""Figure 5c: p99 FCT slowdown vs flow size, Google workload without incast.
+
+Paper claim: without incast BFC tracks Ideal-FQ very closely, and its
+advantage over the end-to-end schemes does not depend on PFC being triggered
+(PFC is never triggered for the SFQ/HPCC variants here).
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_series_table
+from repro.experiments.scenarios import HEADLINE_SCHEMES, fig5c_configs
+
+
+def test_fig05c_google_without_incast(benchmark):
+    configs = fig5c_configs(bench_scale(), schemes=HEADLINE_SCHEMES)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {scheme: result.slowdown_series() for scheme, result in results.items()}
+    table = format_series_table(
+        "Figure 5c: p99 FCT slowdown vs flow size (Google, 65% load, no incast)",
+        series,
+    )
+    write_result("fig05c_google_noincast", table)
+
+    tails = {scheme: result.p99_slowdown() for scheme, result in results.items()}
+    for scheme, value in tails.items():
+        benchmark.extra_info[f"p99_{scheme}"] = value
+
+    assert tails["BFC"] <= tails["DCQCN"]
+    assert tails["BFC"] <= 3.0 * max(1.0, tails["Ideal-FQ"])
+    # Without incast the fabric is calmer: BFC triggers no PFC pauses at all.
+    pause_share = results["BFC"].pause_fraction_by_class()
+    assert all(value < 0.01 for value in pause_share.values())

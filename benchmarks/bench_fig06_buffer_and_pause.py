@@ -1,0 +1,51 @@
+"""Figure 6: buffer occupancy CDF and PFC pause time for the Fig. 5a workload.
+
+Paper claims: (a) BFC and Ideal-FQ keep buffer occupancy low while DCQCN
+variants build large buffers; (b) BFC avoids PFC pauses whereas the DCQCN
+variants spend a noticeable share of time paused.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.buffers import occupancy_cdf, occupancy_percentiles
+from repro.analysis.report import format_comparison_table, render_cdf_table
+from repro.experiments.scenarios import fig6_configs
+
+SCHEMES = ["BFC", "Ideal-FQ", "DCQCN", "DCQCN+Win", "DCQCN+Win+SFQ"]
+
+
+def test_fig06_buffer_occupancy_and_pfc_pause_time(benchmark):
+    configs = fig6_configs(bench_scale(), schemes=SCHEMES)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    cdf_table = render_cdf_table(
+        "Figure 6a: switch buffer occupancy CDF (Fig. 5a workload)",
+        {s: occupancy_cdf(r.buffer_sampler.samples) for s, r in results.items()},
+        value_label="MB of switch buffer",
+    )
+    pause_rows = {
+        scheme: {
+            link_class: 100.0 * value
+            for link_class, value in result.pause_fraction_by_class().items()
+        }
+        for scheme, result in results.items()
+    }
+    pause_table = format_comparison_table(
+        "Figure 6b: % of time links were paused by PFC, per link class",
+        pause_rows,
+        columns=["host->tor", "tor->spine", "spine->tor", "tor->host"],
+        fmt="{:.2f}",
+    )
+    write_result("fig06_buffer_and_pause", cdf_table + "\n" + pause_table)
+
+    p99_buffer = {
+        s: occupancy_percentiles(r.buffer_sampler.samples)["p99"] for s, r in results.items()
+    }
+    for scheme, value in p99_buffer.items():
+        benchmark.extra_info[f"p99_buffer_{scheme}"] = value
+
+    # Shape checks: BFC's tail buffer occupancy is no worse than plain DCQCN's,
+    # and BFC does not lean on PFC.
+    assert p99_buffer["BFC"] <= max(p99_buffer["DCQCN"], p99_buffer["DCQCN+Win"]) * 1.2
+    bfc_pause = results["BFC"].pause_fraction_by_class()
+    assert all(value < 0.01 for value in bfc_pause.values())

@@ -1,0 +1,43 @@
+"""Figure 7: dynamic vs static assignment of flows to physical queues.
+
+Paper claims: the straw proposal (BFC-VFID, static hashing) suffers far more
+physical-queue collisions than BFC and therefore worse tail latency;
+SFQ+InfBuffer sits in between for most flow sizes.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_comparison_table, format_series_table
+from repro.experiments.scenarios import fig7_configs
+
+
+def test_fig07_static_vs_dynamic_queue_assignment(benchmark):
+    configs = fig7_configs(bench_scale())
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {scheme: result.slowdown_series() for scheme, result in results.items()}
+    fct_table = format_series_table(
+        "Figure 7a: p99 FCT slowdown (BFC vs BFC-VFID vs SFQ+InfBuffer)",
+        series,
+    )
+    collision_rows = {
+        scheme: {"collision fraction": result.collision_fraction or 0.0}
+        for scheme, result in results.items()
+        if result.collision_fraction is not None
+    }
+    collision_table = format_comparison_table(
+        "Figure 7b: fraction of queue assignments that collided",
+        collision_rows,
+        columns=["collision fraction"],
+        fmt="{:.4f}",
+    )
+    write_result("fig07_static_assignment", fct_table + "\n" + collision_table)
+
+    bfc_collisions = results["BFC"].collision_fraction or 0.0
+    vfid_collisions = results["BFC-VFID"].collision_fraction or 0.0
+    benchmark.extra_info["bfc_collision_fraction"] = bfc_collisions
+    benchmark.extra_info["bfc_vfid_collision_fraction"] = vfid_collisions
+
+    # Paper: BFC collides ~1% of the time, BFC-VFID ~20%.
+    assert vfid_collisions > bfc_collisions
+    assert results["BFC"].p99_slowdown() <= results["BFC-VFID"].p99_slowdown() * 1.25

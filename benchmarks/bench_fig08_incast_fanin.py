@@ -1,0 +1,57 @@
+"""Figure 8: utilization and tail buffer occupancy vs incast fan-in.
+
+Paper claims: as the incast fan-in grows, DCQCN+Win loses utilization and
+builds deeper buffers, while BFC keeps utilization close to 100% with lower
+tail buffer occupancy.
+"""
+
+from _bench_common import bench_scale, write_result
+
+from repro.analysis.report import format_comparison_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import fig8_configs
+
+SCHEMES = ("BFC", "DCQCN+Win")
+
+
+def run_sweep(configs):
+    return {
+        scheme: {fan_in: run_experiment(config) for fan_in, config in sweep.items()}
+        for scheme, sweep in configs.items()
+    }
+
+
+def test_fig08_incast_fan_in_sweep(benchmark):
+    configs = fig8_configs(bench_scale(), schemes=SCHEMES)
+    results = benchmark.pedantic(run_sweep, args=(configs,), rounds=1, iterations=1)
+
+    fan_ins = sorted(next(iter(results.values())).keys())
+    util_rows = {
+        scheme: {str(f): sweep[f].mean_utilization() for f in fan_ins}
+        for scheme, sweep in results.items()
+    }
+    buffer_rows = {
+        scheme: {str(f): sweep[f].buffer_sampler.percentile(99) / 1e6 for f in fan_ins}
+        for scheme, sweep in results.items()
+    }
+    table = format_comparison_table(
+        "Figure 8a: mean receiver utilization vs incast fan-in",
+        util_rows,
+        columns=[str(f) for f in fan_ins],
+    ) + "\n" + format_comparison_table(
+        "Figure 8b: p99 switch buffer occupancy (MB) vs incast fan-in",
+        buffer_rows,
+        columns=[str(f) for f in fan_ins],
+    )
+    write_result("fig08_incast_fanin", table)
+
+    largest = fan_ins[-1]
+    bfc_util = results["BFC"][largest].mean_utilization()
+    dcqcn_util = results["DCQCN+Win"][largest].mean_utilization()
+    benchmark.extra_info["bfc_utilization_at_max_fanin"] = bfc_util
+    benchmark.extra_info["dcqcn_win_utilization_at_max_fanin"] = dcqcn_util
+
+    # Shape checks: BFC sustains high utilization at the largest fan-in and is
+    # not worse than DCQCN+Win there.
+    assert bfc_util > 0.6
+    assert bfc_util >= dcqcn_util * 0.9

@@ -1,0 +1,52 @@
+"""Figure 9: cross-data-center experiment (intra- and inter-DC tail latency).
+
+Paper claims: BFC achieves better tail latency than DCQCN+Win for both
+intra- and inter-data-center flows; the inter-DC slowdown for BFC stays close
+to ideal because BFC reacts at the one-hop RTT timescale while DCQCN's
+control loop spans the 200 us gateway link.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.fct import summarize_slowdowns
+from repro.analysis.report import format_comparison_table
+from repro.experiments.scenarios import fig9_configs
+
+SCHEMES = ("BFC", "DCQCN+Win")
+
+
+def test_fig09_cross_datacenter(benchmark):
+    configs = fig9_configs(bench_scale(), schemes=SCHEMES)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    rows = {}
+    tails = {}
+    for scheme, result in results.items():
+        intra = [r for r in result.flow_stats.records if r.tag == "intra-dc"]
+        inter = [r for r in result.flow_stats.records if r.tag == "inter-dc"]
+        intra_stats = summarize_slowdowns(intra)
+        inter_stats = summarize_slowdowns(inter)
+        rows[scheme] = {
+            "intra p99": intra_stats["p99"],
+            "inter p99": inter_stats["p99"],
+            "intra p50": intra_stats["p50"],
+            "inter p50": inter_stats["p50"],
+        }
+        tails[scheme] = (intra_stats["p99"], inter_stats["p99"])
+
+    table = format_comparison_table(
+        "Figure 9: FCT slowdown for intra- and inter-DC flows (FB_Hadoop, 65% load)",
+        rows,
+        columns=["intra p50", "intra p99", "inter p50", "inter p99"],
+        fmt="{:.2f}",
+    )
+    write_result("fig09_cross_dc", table)
+
+    benchmark.extra_info["bfc_intra_p99"] = tails["BFC"][0]
+    benchmark.extra_info["bfc_inter_p99"] = tails["BFC"][1]
+    benchmark.extra_info["dcqcn_win_inter_p99"] = tails["DCQCN+Win"][1]
+
+    # Shape checks: both flow classes complete, and BFC's inter-DC tail is no
+    # worse than DCQCN+Win's.
+    assert all(result.completion_rate() > 0.7 for result in results.values())
+    assert tails["BFC"][1] <= tails["DCQCN+Win"][1] * 1.2

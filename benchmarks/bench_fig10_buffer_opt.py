@@ -1,0 +1,59 @@
+"""Figure 10: per-physical-queue backlog vs number of concurrent flows.
+
+Paper claims: BFC's resume-rate limit (two flows per hop RTT per queue) keeps
+the worst-case physical-queue backlog near two hop-BDPs regardless of how many
+flows share the queue, whereas BFC-BufferOpt (no limit) lets the backlog grow
+roughly linearly with the number of concurrent flows.
+"""
+
+from _bench_common import bench_scale, write_result
+
+from repro.analysis.report import format_comparison_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import fig10_configs, get_scale
+
+SCHEMES = ("BFC", "BFC-BufferOpt")
+FLOW_COUNTS = (8, 32, 128)
+
+
+def run_sweep(configs):
+    return {
+        scheme: {count: run_experiment(config) for count, config in sweep.items()}
+        for scheme, sweep in configs.items()
+    }
+
+
+def test_fig10_physical_queue_size_vs_concurrent_flows(benchmark):
+    configs = fig10_configs(bench_scale(), schemes=SCHEMES, flow_counts=FLOW_COUNTS)
+    results = benchmark.pedantic(run_sweep, args=(configs,), rounds=1, iterations=1)
+
+    rows = {
+        scheme: {
+            str(count): sweep[count].queue_sampler.queue_percentile(99) / 1e3
+            for count in FLOW_COUNTS
+        }
+        for scheme, sweep in results.items()
+    }
+    table = format_comparison_table(
+        "Figure 10: p99 physical-queue backlog (KB) vs number of concurrent flows",
+        rows,
+        columns=[str(c) for c in FLOW_COUNTS],
+        fmt="{:.1f}",
+    )
+    write_result("fig10_buffer_opt", table)
+
+    scale = get_scale(bench_scale())
+    # Two hop-BDPs at this scale (the paper's bound for BFC's queue size).
+    hop_rtt_ns = 2 * (scale.clos.link_delay_ns + (scale.mtu + 48) * 8e9 / scale.clos.link_rate_bps)
+    two_hop_bdp = 2 * scale.clos.link_rate_bps * hop_rtt_ns / (8 * 1e9)
+
+    bfc_big = results["BFC"][FLOW_COUNTS[-1]].queue_sampler.queue_percentile(99)
+    ablation_big = results["BFC-BufferOpt"][FLOW_COUNTS[-1]].queue_sampler.queue_percentile(99)
+    benchmark.extra_info["bfc_p99_queue_bytes"] = bfc_big
+    benchmark.extra_info["bufferopt_p99_queue_bytes"] = ablation_big
+    benchmark.extra_info["two_hop_bdp_bytes"] = two_hop_bdp
+
+    # Shape checks: BFC keeps the queue bounded by a small multiple of the
+    # feedback BDP and never does worse than the ablation.
+    assert bfc_big <= 6 * two_hop_bdp
+    assert bfc_big <= ablation_big * 1.1

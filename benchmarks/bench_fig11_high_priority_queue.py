@@ -1,0 +1,54 @@
+"""Figure 11: effect of the high-priority queue for single-packet flows.
+
+Paper claims: steering the (marked) first packet of each flow into a separate
+high-priority queue (a) reduces the number of physical queues in use and (b)
+improves tail latency, especially for the very short flows that dominate the
+Google workload at high load.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_comparison_table, format_series_table
+from repro.experiments.scenarios import fig11_configs
+
+
+def test_fig11_high_priority_queue_ablation(benchmark):
+    configs = fig11_configs(bench_scale())
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {scheme: result.slowdown_series() for scheme, result in results.items()}
+    fct_table = format_series_table(
+        "Figure 11b: p99 FCT slowdown with / without the high-priority queue "
+        "(Google, 85% load + 5% incast)",
+        series,
+    )
+    occupancy_rows = {
+        scheme: {
+            "mean occupied queues": (
+                sum(result.queue_sampler.occupied_queues)
+                / max(1, len(result.queue_sampler.occupied_queues))
+            ),
+            "max occupied queues": max(result.queue_sampler.occupied_queues or [0]),
+        }
+        for scheme, result in results.items()
+    }
+    occupancy_table = format_comparison_table(
+        "Figure 11a: physical queues in use per switch",
+        occupancy_rows,
+        columns=["mean occupied queues", "max occupied queues"],
+        fmt="{:.1f}",
+    )
+    write_result("fig11_high_priority_queue", fct_table + "\n" + occupancy_table)
+
+    with_hp = results["BFC"]
+    without_hp = results["BFC-HighPriorityQ"]
+    benchmark.extra_info["p99_with_hp"] = with_hp.p99_slowdown()
+    benchmark.extra_info["p99_without_hp"] = without_hp.p99_slowdown()
+
+    mean_occupied = lambda r: (
+        sum(r.queue_sampler.occupied_queues) / max(1, len(r.queue_sampler.occupied_queues))
+    )
+    # Shape checks: the high-priority queue does not increase physical-queue
+    # pressure and does not hurt the tail.
+    assert mean_occupied(with_hp) <= mean_occupied(without_hp) + 1.0
+    assert with_hp.p99_slowdown() <= without_hp.p99_slowdown() * 1.2

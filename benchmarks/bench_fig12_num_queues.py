@@ -1,0 +1,45 @@
+"""Figure 12: sensitivity to the number of physical queues per port.
+
+Paper claims: fewer physical queues means more collisions and worse tail
+latency; 32 queues per port is the knee of the curve.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_comparison_table, format_series_table
+from repro.experiments.scenarios import fig12_configs
+
+QUEUE_COUNTS = (4, 8, 32)
+
+
+def test_fig12_sensitivity_to_physical_queue_count(benchmark):
+    configs = fig12_configs(bench_scale(), queue_counts=QUEUE_COUNTS, include_ideal=True)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {label: result.slowdown_series() for label, result in results.items()}
+    fct_table = format_series_table(
+        "Figure 12b: p99 FCT slowdown vs flow size, physical queues per port swept",
+        series,
+    )
+    collision_rows = {
+        label: {"collision %": 100.0 * (result.collision_fraction or 0.0)}
+        for label, result in results.items()
+        if result.collision_fraction is not None
+    }
+    collision_table = format_comparison_table(
+        "Figure 12a: % of queue assignments that collided",
+        collision_rows,
+        columns=["collision %"],
+        fmt="{:.3f}",
+    )
+    write_result("fig12_num_queues", fct_table + "\n" + collision_table)
+
+    few = results[f"{QUEUE_COUNTS[0]}q"]
+    many = results[f"{QUEUE_COUNTS[-1]}q"]
+    benchmark.extra_info["collision_fraction_fewest_queues"] = few.collision_fraction
+    benchmark.extra_info["collision_fraction_most_queues"] = many.collision_fraction
+
+    # Shape checks: collisions do not increase with more queues, and the
+    # well-provisioned configuration is not worse at the tail.
+    assert (many.collision_fraction or 0.0) <= (few.collision_fraction or 0.0) + 1e-9
+    assert many.p99_slowdown() <= few.p99_slowdown() * 1.2

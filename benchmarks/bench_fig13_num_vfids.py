@@ -1,0 +1,51 @@
+"""Figure 13: sensitivity to the size of the VFID hash table.
+
+Paper claims: shrinking the VFID space increases hash-table collisions and
+overflows, but performance is largely insensitive down to ~1K VFIDs on this
+workload.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_comparison_table, format_series_table
+from repro.experiments.scenarios import fig13_configs
+
+VFID_COUNTS = (256, 1_024, 16_384)
+
+
+def test_fig13_sensitivity_to_vfid_table_size(benchmark):
+    configs = fig13_configs(bench_scale(), vfid_counts=VFID_COUNTS)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {label: result.slowdown_series() for label, result in results.items()}
+    fct_table = format_series_table(
+        "Figure 13b: p99 FCT slowdown vs flow size, VFID space swept",
+        series,
+    )
+    stats_rows = {
+        label: {
+            "vfid collisions": result.vfid_stats.get("vfid_collisions", 0),
+            "bucket overflows": result.vfid_stats.get("bucket_overflows", 0),
+            "cache overflows": result.vfid_stats.get("cache_overflows", 0),
+            "table inserts": result.vfid_stats.get("table_inserts", 0),
+        }
+        for label, result in results.items()
+    }
+    stats_table = format_comparison_table(
+        "Figure 13a: hash-table collisions and overflows",
+        stats_rows,
+        columns=["vfid collisions", "bucket overflows", "cache overflows", "table inserts"],
+        fmt="{:.0f}",
+    )
+    write_result("fig13_num_vfids", fct_table + "\n" + stats_table)
+
+    smallest = results[str(VFID_COUNTS[0])]
+    largest = results[str(VFID_COUNTS[-1])]
+    benchmark.extra_info["collisions_smallest_table"] = smallest.vfid_stats["vfid_collisions"]
+    benchmark.extra_info["collisions_largest_table"] = largest.vfid_stats["vfid_collisions"]
+
+    # Shape checks: a big table collides no more than a small one, and tail
+    # latency is largely insensitive to the table size (paper's conclusion).
+    assert largest.vfid_stats["vfid_collisions"] <= smallest.vfid_stats["vfid_collisions"]
+    assert largest.p99_slowdown() <= smallest.p99_slowdown() * 1.5
+    assert smallest.p99_slowdown() <= largest.p99_slowdown() * 3.0

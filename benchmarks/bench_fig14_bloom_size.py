@@ -1,0 +1,50 @@
+"""Figure 14: sensitivity to the Bloom-filter (pause frame) size.
+
+Paper claims: performance is largely unaffected down to small filters because
+few flows are paused at a time; only the smallest (16 B) filter starts to hurt
+short flows through false-positive pauses.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.report import format_comparison_table, format_series_table
+from repro.experiments.scenarios import fig14_configs
+
+BLOOM_SIZES = (4, 16, 128)
+
+
+def test_fig14_sensitivity_to_bloom_filter_size(benchmark):
+    configs = fig14_configs(bench_scale(), bloom_sizes=BLOOM_SIZES)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    series = {label: result.slowdown_series() for label, result in results.items()}
+    fct_table = format_series_table(
+        "Figure 14: p99 FCT slowdown vs flow size, Bloom-filter size swept",
+        series,
+    )
+    stats_rows = {
+        label: {
+            "pauses": result.vfid_stats.get("pauses", 0),
+            "resumes": result.vfid_stats.get("resumes", 0),
+            "p99 slowdown": result.p99_slowdown(),
+        }
+        for label, result in results.items()
+    }
+    stats_table = format_comparison_table(
+        "Pause activity per Bloom-filter size",
+        stats_rows,
+        columns=["pauses", "resumes", "p99 slowdown"],
+        fmt="{:.2f}",
+    )
+    write_result("fig14_bloom_size", fct_table + "\n" + stats_table)
+
+    large = results[f"{BLOOM_SIZES[-1]}B"]
+    small = results[f"{BLOOM_SIZES[0]}B"]
+    benchmark.extra_info["p99_largest_filter"] = large.p99_slowdown()
+    benchmark.extra_info["p99_smallest_filter"] = small.p99_slowdown()
+
+    # Shape checks: every configuration completes its flows without loss, and
+    # the paper-size filter is at least as good as the tiny one at the tail.
+    assert all(result.completion_rate() > 0.8 for result in results.values())
+    assert all(result.dropped_packets == 0 for result in results.values())
+    assert large.p99_slowdown() <= small.p99_slowdown() * 1.2

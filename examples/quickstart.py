@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: compare BFC against DCQCN on a small leaf-spine fabric.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. pick a scale preset (topology + trace sizing),
+2. build per-scheme experiment configurations for the paper's headline
+   workload (Google flow sizes, 60% load + 5% incast),
+3. run them and print the tail-latency comparison.
+
+Run with::
+
+    python examples/quickstart.py [tiny|small]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.report import format_series_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import fig5a_configs
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    schemes = ["BFC", "DCQCN", "DCQCN+Win", "Ideal-FQ"]
+    print(f"Running the Fig. 5a workload at scale {scale!r} for {schemes} ...")
+
+    configs = fig5a_configs(scale, schemes=schemes)
+    results = {}
+    for scheme, config in configs.items():
+        result = run_experiment(config)
+        results[scheme] = result
+        print(
+            f"  {scheme:<10s} flows={result.flows_offered:5d} "
+            f"completed={100 * result.completion_rate():5.1f}%  "
+            f"p99 slowdown={result.p99_slowdown():7.2f}  "
+            f"drops={result.dropped_packets:4d}  "
+            f"({result.wall_seconds:.1f}s wall, {result.events_processed} events)"
+        )
+
+    table = format_series_table(
+        "p99 FCT slowdown vs flow size (Google workload, 60% load + 5% incast)",
+        {scheme: result.slowdown_series() for scheme, result in results.items()},
+    )
+    print()
+    print(table)
+
+    bfc, dcqcn = results["BFC"], results["DCQCN"]
+    print(
+        f"BFC cuts the overall p99 slowdown from {dcqcn.p99_slowdown():.1f}x "
+        f"to {bfc.p99_slowdown():.1f}x while dropping "
+        f"{bfc.dropped_packets} packets (DCQCN dropped {dcqcn.dropped_packets})."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

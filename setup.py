@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in pyproject.toml; this file exists so
+the package can be installed in editable mode on minimal environments that
+lack the ``wheel`` package (pip falls back to the legacy ``setup.py develop``
+path when PEP 660 editable wheels cannot be built).
+"""
+
+from setuptools import setup
+
+setup()

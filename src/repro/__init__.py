@@ -1,0 +1,43 @@
+"""Backpressure Flow Control (BFC) — reproduction library.
+
+This package reproduces "Backpressure Flow Control" (Goyal et al., NSDI 2022)
+in pure Python:
+
+* :mod:`repro.sim` — a from-scratch packet-level discrete-event network
+  simulator (links, shared-buffer switches, PFC, RDMA-style NICs with
+  Go-Back-N).
+* :mod:`repro.core` — BFC itself: dynamic flow-to-queue assignment, per-flow
+  hop-by-hop pauses signalled with counting Bloom filters, the high-priority
+  queue for single-packet flows, and the paper's ablation variants.
+* :mod:`repro.congestion` — the end-to-end baselines (DCQCN, DCQCN+Win, HPCC).
+* :mod:`repro.topology` — leaf-spine (T1/T2) and cross-data-center fabrics.
+* :mod:`repro.workloads` — Google / FB_Hadoop / WebSearch traces, incast.
+* :mod:`repro.analysis` — FCT slowdown, buffer occupancy and pause analysis.
+* :mod:`repro.experiments` — the scheme registry, runner and per-figure
+  scenarios used by the benchmark harness.
+
+Quickstart::
+
+    from repro.experiments import run_experiment
+    from repro.experiments.scenarios import fig5a_configs
+
+    configs = fig5a_configs("tiny", schemes=["BFC", "DCQCN"])
+    for scheme, config in configs.items():
+        result = run_experiment(config)
+        print(scheme, result.p99_slowdown())
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, congestion, core, experiments, sim, topology, workloads
+
+__all__ = [
+    "__version__",
+    "sim",
+    "core",
+    "congestion",
+    "topology",
+    "workloads",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,41 @@
+"""Analysis of simulation output into the paper's tables and figure series."""
+
+from .fct import (
+    FctBin,
+    PAPER_SIZE_BINS,
+    bin_slowdowns,
+    slowdown_series,
+    summarize_slowdowns,
+)
+from .buffers import cdf_points, occupancy_cdf, pause_time_by_link_class
+from .fairness import (
+    concurrent_flow_fairness,
+    flow_throughputs,
+    jains_index,
+    link_utilization_report,
+)
+from .report import (
+    format_series_table,
+    format_comparison_table,
+    hardware_trend_table,
+    render_cdf_table,
+)
+
+__all__ = [
+    "FctBin",
+    "PAPER_SIZE_BINS",
+    "bin_slowdowns",
+    "slowdown_series",
+    "summarize_slowdowns",
+    "cdf_points",
+    "occupancy_cdf",
+    "pause_time_by_link_class",
+    "jains_index",
+    "flow_throughputs",
+    "concurrent_flow_fairness",
+    "link_utilization_report",
+    "format_series_table",
+    "format_comparison_table",
+    "hardware_trend_table",
+    "render_cdf_table",
+]

@@ -1,0 +1,55 @@
+"""Buffer-occupancy and pause-time analysis (Figs. 2, 6, 8b)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.sim.stats import percentile
+
+
+def cdf_points(samples: Sequence[float], points: int = 20) -> List[Tuple[float, float]]:
+    """Evenly-spaced CDF points ``(value, cumulative_fraction)`` of a sample set."""
+    if not samples:
+        return []
+    data = sorted(samples)
+    n = len(data)
+    result: List[Tuple[float, float]] = []
+    for i in range(1, points + 1):
+        fraction = i / points
+        index = min(n - 1, max(0, int(round(fraction * n)) - 1))
+        result.append((float(data[index]), fraction))
+    return result
+
+
+def occupancy_cdf(samples: Sequence[int], points: int = 20) -> List[Tuple[float, float]]:
+    """CDF of switch buffer occupancy in megabytes (paper Figs. 2 and 6a)."""
+    return [(value / 1e6, frac) for value, frac in cdf_points(samples, points)]
+
+
+def occupancy_percentiles(samples: Sequence[int]) -> Dict[str, float]:
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "p50": percentile(list(samples), 50),
+        "p95": percentile(list(samples), 95),
+        "p99": percentile(list(samples), 99),
+        "max": float(max(samples)),
+    }
+
+
+def pause_time_by_link_class(
+    pause_fractions: Mapping[str, Iterable[float]],
+) -> Dict[str, float]:
+    """Average paused-time fraction per link class (paper Fig. 6b).
+
+    Input maps a link class ("tor->spine", "spine->tor", ...) to the per-port
+    paused fractions; output is the mean per class, as a percentage.
+    """
+    result: Dict[str, float] = {}
+    for link_class, values in pause_fractions.items():
+        values = list(values)
+        if not values:
+            result[link_class] = 0.0
+        else:
+            result[link_class] = 100.0 * sum(values) / len(values)
+    return result

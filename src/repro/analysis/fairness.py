@@ -1,0 +1,101 @@
+"""Fairness and utilization analysis.
+
+The paper's scheduling goal is (approximate) per-flow fairness at every
+bottleneck.  These helpers quantify how close a run comes:
+
+* :func:`jains_index` — the classic fairness index over per-flow throughput,
+* :func:`flow_throughputs` — goodput of each completed flow,
+* :func:`concurrent_flow_fairness` — Jain's index restricted to flows that
+  actually overlapped in time (fairness is only meaningful among competitors),
+* :func:`link_utilization_report` — per-link-class utilization summary for a
+  topology after a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.stats import FlowRecord
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 1.0
+    numerator = sum(values) ** 2
+    denominator = len(values) * sum(v * v for v in values)
+    if denominator == 0:
+        return 1.0
+    return numerator / denominator
+
+
+def flow_throughputs(records: Iterable[FlowRecord]) -> Dict[int, float]:
+    """Goodput (bits/second) of every completed flow."""
+    result: Dict[int, float] = {}
+    for record in records:
+        if record.finish_ns is None:
+            continue
+        duration_ns = max(1, record.finish_ns - record.start_ns)
+        result[record.flow_id] = record.size * 8 * 1e9 / duration_ns
+    return result
+
+
+def _overlap(a: FlowRecord, b: FlowRecord) -> bool:
+    if a.finish_ns is None or b.finish_ns is None:
+        return False
+    return a.start_ns < b.finish_ns and b.start_ns < a.finish_ns
+
+
+def concurrent_flow_fairness(
+    records: Sequence[FlowRecord],
+    min_size: int = 10_000,
+    destination: Optional[int] = None,
+) -> float:
+    """Jain's index over throughputs of flows that overlapped in time.
+
+    Only flows of at least ``min_size`` bytes are considered (tiny flows
+    finish before fair sharing can be observed).  If ``destination`` is given,
+    the analysis is restricted to flows toward that host (i.e. fairness at one
+    bottleneck egress).
+    """
+    candidates = [
+        r
+        for r in records
+        if r.finish_ns is not None
+        and r.size >= min_size
+        and (destination is None or r.dst == destination)
+    ]
+    if len(candidates) < 2:
+        return 1.0
+    # Keep flows that overlap with at least one other candidate.
+    overlapping: List[FlowRecord] = []
+    for record in candidates:
+        if any(other is not record and _overlap(record, other) for other in candidates):
+            overlapping.append(record)
+    if len(overlapping) < 2:
+        return 1.0
+    throughputs = flow_throughputs(overlapping)
+    return jains_index(list(throughputs.values()))
+
+
+def link_utilization_report(topology, duration_ns: int) -> Dict[str, Dict[str, float]]:
+    """Per-link-class utilization statistics after a run.
+
+    Returns ``{link_class: {"mean": ..., "max": ..., "ports": ...}}`` over
+    every egress port in the topology (switches and hosts).
+    """
+    per_class: Dict[str, List[float]] = {}
+    nodes = list(topology.all_switches()) + list(topology.hosts.values())
+    for node in nodes:
+        for iface in node.interfaces:
+            value = iface.tx.utilization(duration_ns)
+            per_class.setdefault(iface.link_class, []).append(value)
+    report: Dict[str, Dict[str, float]] = {}
+    for link_class, values in per_class.items():
+        report[link_class] = {
+            "mean": sum(values) / len(values),
+            "max": max(values),
+            "ports": float(len(values)),
+        }
+    return report

@@ -1,0 +1,111 @@
+"""Flow-completion-time analysis.
+
+The paper's headline figures plot the 99th-percentile *FCT slowdown*
+(measured FCT divided by the FCT of the same flow alone at line rate) as a
+function of flow size, on logarithmic size bins.  This module bins completed
+flows the same way and computes per-bin percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.stats import FlowRecord, percentile
+
+
+@dataclass(frozen=True)
+class FctBin:
+    """One flow-size bin: [lo, hi) bytes."""
+
+    lo: int
+    hi: int
+    label: str
+
+    def contains(self, size: int) -> bool:
+        return self.lo <= size < self.hi
+
+
+def _make_bins(edges_kb: Sequence[float]) -> List[FctBin]:
+    bins: List[FctBin] = []
+    previous = 0.0
+    for edge in edges_kb:
+        lo = int(previous * 1000)
+        hi = int(edge * 1000)
+        label = f"<{edge:g}KB" if previous == 0 else f"{previous:g}-{edge:g}KB"
+        bins.append(FctBin(lo=lo, hi=hi, label=label))
+        previous = edge
+    bins.append(FctBin(lo=int(previous * 1000), hi=1 << 62, label=f">{previous:g}KB"))
+    return bins
+
+
+#: The size bins used on the x-axis of Figs. 5, 7, 9, 11-14 (log-spaced,
+#: spanning the 1 KB - 1 MB+ range the paper plots).
+PAPER_SIZE_BINS: List[FctBin] = _make_bins([1, 3, 10, 30, 100, 300, 1000])
+
+
+def bin_slowdowns(
+    records: Iterable[FlowRecord],
+    bins: Optional[Sequence[FctBin]] = None,
+    include_incast: bool = False,
+) -> Dict[str, List[float]]:
+    """Group the slowdowns of completed flows by size bin."""
+    bins = list(bins) if bins is not None else PAPER_SIZE_BINS
+    grouped: Dict[str, List[float]] = {b.label: [] for b in bins}
+    for record in records:
+        if record.finish_ns is None or record.slowdown is None:
+            continue
+        if record.is_incast and not include_incast:
+            continue
+        for b in bins:
+            if b.contains(record.size):
+                grouped[b.label].append(record.slowdown)
+                break
+    return grouped
+
+
+def slowdown_series(
+    records: Iterable[FlowRecord],
+    quantile: float = 99.0,
+    bins: Optional[Sequence[FctBin]] = None,
+    include_incast: bool = False,
+    min_samples: int = 1,
+) -> List[Tuple[str, float, int]]:
+    """Per-bin percentile slowdown: ``(bin_label, slowdown, sample_count)``.
+
+    Bins with fewer than ``min_samples`` completed flows are reported with a
+    slowdown of ``float('nan')`` so callers can distinguish "no data" from
+    "slowdown of zero".
+    """
+    grouped = bin_slowdowns(records, bins=bins, include_incast=include_incast)
+    series: List[Tuple[str, float, int]] = []
+    for label, values in grouped.items():
+        if len(values) >= min_samples and values:
+            series.append((label, percentile(values, quantile), len(values)))
+        else:
+            series.append((label, float("nan"), len(values)))
+    return series
+
+
+def summarize_slowdowns(
+    records: Iterable[FlowRecord],
+    include_incast: bool = False,
+) -> Dict[str, float]:
+    """Aggregate slowdown statistics across all completed flows."""
+    values = [
+        r.slowdown
+        for r in records
+        if r.finish_ns is not None
+        and r.slowdown is not None
+        and (include_incast or not r.is_incast)
+    ]
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }

@@ -1,0 +1,284 @@
+"""Command-line interface for the BFC reproduction.
+
+The CLI wraps the experiment runner and the per-figure scenarios so that the
+common workflows need no Python code:
+
+``python -m repro schemes``
+    List the available schemes and what they wire up.
+
+``python -m repro workloads``
+    Describe the industry flow-size distributions (mean, sub-BDP share).
+
+``python -m repro run --scheme BFC --scale tiny``
+    Run a single experiment (the Fig. 5a workload by default) and print a
+    summary; ``--json`` emits machine-readable output.
+
+``python -m repro figure fig5a --scale tiny --schemes BFC DCQCN``
+    Run one of the paper's figures and print the reproduced table.
+
+``python -m repro compare --scale tiny --schemes BFC DCQCN HPCC``
+    Run several schemes on the same trace and print the comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_comparison_table, format_series_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.schemes import SCHEMES, available_schemes
+from repro.experiments import scenarios
+from repro.sim import units
+from repro.workloads.distributions import WORKLOADS
+
+
+#: Figures that can be driven directly from the CLI (single-config-per-label
+#: scenarios; the sweep figures 8 and 10 need the benchmark harness).
+FIGURE_FACTORIES = {
+    "fig2": scenarios.fig2_configs,
+    "fig3": scenarios.fig3_configs,
+    "fig5a": scenarios.fig5a_configs,
+    "fig5b": scenarios.fig5b_configs,
+    "fig5c": scenarios.fig5c_configs,
+    "fig6": scenarios.fig6_configs,
+    "fig7": scenarios.fig7_configs,
+    "fig9": scenarios.fig9_configs,
+    "fig11": scenarios.fig11_configs,
+    "fig12": scenarios.fig12_configs,
+    "fig13": scenarios.fig13_configs,
+    "fig14": scenarios.fig14_configs,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Backpressure Flow Control (BFC) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list available congestion-control schemes")
+
+    sub.add_parser("workloads", help="describe the industry workload distributions")
+
+    run = sub.add_parser("run", help="run a single experiment and print a summary")
+    run.add_argument("--scheme", default="BFC", choices=available_schemes())
+    run.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    run.add_argument("--workload", default="google", choices=sorted(WORKLOADS))
+    run.add_argument("--load", type=float, default=0.6, help="offered load (fraction)")
+    run.add_argument("--incast", type=float, default=0.05,
+                     help="incast load fraction (0 disables incast)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    figure = sub.add_parser("figure", help="run one of the paper's figures")
+    figure.add_argument("name", choices=sorted(FIGURE_FACTORIES))
+    figure.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    figure.add_argument("--schemes", nargs="*", default=None,
+                        help="restrict to these schemes (figures 5a-c, 6, 9 only)")
+    figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("--json", action="store_true")
+
+    compare = sub.add_parser("compare", help="run several schemes on one trace")
+    compare.add_argument("--schemes", nargs="+", default=["BFC", "DCQCN", "DCQCN+Win"],
+                         choices=available_schemes())
+    compare.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    compare.add_argument("--workload", default="google", choices=sorted(WORKLOADS))
+    compare.add_argument("--load", type=float, default=0.6)
+    compare.add_argument("--incast", type=float, default=0.05)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--json", action="store_true")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+
+def _result_summary(result: ExperimentResult) -> Dict[str, float]:
+    pause = result.pause_fraction_by_class()
+    return {
+        "scheme": result.scheme,
+        "flows_offered": result.flows_offered,
+        "completion_rate": result.completion_rate(),
+        "p99_slowdown": result.p99_slowdown(),
+        "mean_slowdown": result.mean_slowdown(),
+        "dropped_packets": result.dropped_packets,
+        "p99_buffer_bytes": result.buffer_sampler.percentile(99),
+        "max_pfc_pause_fraction": max(pause.values()) if pause else 0.0,
+        "collision_fraction": result.collision_fraction or 0.0,
+        "events_processed": result.events_processed,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def _single_config(scheme: str, scale_name: str, workload: str, load: float,
+                   incast: float, seed: int):
+    scale = scenarios.get_scale(scale_name)
+    distribution = WORKLOADS[workload]
+    traffic = scenarios._background_traffic(
+        scale, distribution, load, incast_load=incast if incast > 0 else None, seed=seed
+    )
+    return scenarios._base_config(
+        f"cli/{scheme}/{workload}", scheme, scale, traffic, seed=seed
+    )
+
+
+def cmd_schemes(args: argparse.Namespace, out) -> int:
+    rows = {name: {"description": spec.description} for name, spec in SCHEMES.items()}
+    width = max(len(name) for name in rows)
+    for name in sorted(rows):
+        print(f"  {name.ljust(width)}  {rows[name]['description']}", file=out)
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace, out) -> int:
+    bdp = units.bandwidth_delay_product(units.gbps(100), units.microseconds(8))
+    rows = {}
+    for name, dist in WORKLOADS.items():
+        rows[dist.name] = {
+            "mean KB": dist.mean() / 1e3,
+            "flows <= 1KB (%)": 100 * dist.cdf(1_000),
+            "flows <= 1 BDP (%)": 100 * dist.cdf(bdp),
+            "max size (MB)": dist.max_size() / 1e6,
+        }
+    print(
+        format_comparison_table(
+            "Industry workloads (BDP = 100 KB at 100 Gbps / 8 us)",
+            rows,
+            columns=["mean KB", "flows <= 1KB (%)", "flows <= 1 BDP (%)", "max size (MB)"],
+            fmt="{:.1f}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    config = _single_config(args.scheme, args.scale, args.workload, args.load,
+                            args.incast, args.seed)
+    result = run_experiment(config)
+    summary = _result_summary(result)
+    if args.json:
+        json.dump(summary, out, indent=2)
+        print(file=out)
+    else:
+        print(f"Experiment: {config.name} (scale={args.scale}, load={args.load:.0%})", file=out)
+        for key, value in summary.items():
+            if isinstance(value, float):
+                print(f"  {key:<24s} {value:.4f}", file=out)
+            else:
+                print(f"  {key:<24s} {value}", file=out)
+        print(file=out)
+        print(
+            format_series_table(
+                "p99 FCT slowdown vs flow size",
+                {args.scheme: result.slowdown_series()},
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace, out) -> int:
+    factory = FIGURE_FACTORIES[args.name]
+    kwargs = {"seed": args.seed}
+    if args.schemes:
+        try:
+            configs = factory(args.scale, schemes=args.schemes, **kwargs)
+        except TypeError:
+            configs = factory(args.scale, **kwargs)
+    else:
+        configs = factory(args.scale, **kwargs)
+    results = {label: run_experiment(config) for label, config in configs.items()}
+    if args.json:
+        json.dump({label: _result_summary(r) for label, r in results.items()}, out, indent=2)
+        print(file=out)
+        return 0
+    print(
+        format_series_table(
+            f"{args.name}: p99 FCT slowdown vs flow size (scale={args.scale})",
+            {label: result.slowdown_series() for label, result in results.items()},
+        ),
+        file=out,
+    )
+    summary_rows = {label: _result_summary(r) for label, r in results.items()}
+    print(
+        format_comparison_table(
+            "Summary",
+            {
+                label: {
+                    "p99 slowdown": row["p99_slowdown"],
+                    "completion %": 100 * row["completion_rate"],
+                    "drops": row["dropped_packets"],
+                }
+                for label, row in summary_rows.items()
+            },
+            columns=["p99 slowdown", "completion %", "drops"],
+            fmt="{:.2f}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out) -> int:
+    results: Dict[str, ExperimentResult] = {}
+    for scheme in args.schemes:
+        config = _single_config(scheme, args.scale, args.workload, args.load,
+                                args.incast, args.seed)
+        results[scheme] = run_experiment(config)
+    if args.json:
+        json.dump({s: _result_summary(r) for s, r in results.items()}, out, indent=2)
+        print(file=out)
+        return 0
+    print(
+        format_series_table(
+            f"p99 FCT slowdown vs flow size ({args.workload}, {args.load:.0%} load)",
+            {scheme: result.slowdown_series() for scheme, result in results.items()},
+        ),
+        file=out,
+    )
+    print(
+        format_comparison_table(
+            "Summary",
+            {
+                scheme: {
+                    "p99 slowdown": result.p99_slowdown(),
+                    "p99 buffer KB": result.buffer_sampler.percentile(99) / 1e3,
+                    "drops": float(result.dropped_packets),
+                }
+                for scheme, result in results.items()
+            },
+            columns=["p99 slowdown", "p99 buffer KB", "drops"],
+            fmt="{:.2f}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+COMMANDS = {
+    "schemes": cmd_schemes,
+    "workloads": cmd_workloads,
+    "run": cmd_run,
+    "figure": cmd_figure,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point (also used by ``python -m repro``)."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = COMMANDS[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

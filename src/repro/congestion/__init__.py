@@ -1,0 +1,22 @@
+"""End-to-end congestion-control baselines the paper compares BFC against.
+
+The sender-side modules plug into :class:`repro.sim.host.Host` via its
+``cc_factory`` argument; switch-side behaviour (ECN marking for DCQCN, INT
+stamping for HPCC, SFQ / Ideal-FQ scheduling) is configured on the switches by
+the experiment scheme registry (:mod:`repro.experiments.schemes`).
+"""
+
+from repro.sim.host import CongestionControl, WindowedCongestionControl
+
+from .dcqcn import DcqcnConfig, DcqcnControl, DcqcnWindowedControl
+from .hpcc import HpccConfig, HpccControl
+
+__all__ = [
+    "CongestionControl",
+    "WindowedCongestionControl",
+    "DcqcnConfig",
+    "DcqcnControl",
+    "DcqcnWindowedControl",
+    "HpccConfig",
+    "HpccControl",
+]

@@ -1,0 +1,122 @@
+"""Multistage Bloom filters for BFC pause signalling.
+
+BFC communicates the set of paused virtual flows on an ingress link by
+periodically shipping a small Bloom filter upstream (§3.6).  The congested
+(downstream) switch maintains a *counting* Bloom filter so that two paused
+VFIDs mapping to the same bit can be removed independently; what travels on
+the wire is the plain bitmap derived from it.
+
+Both ends must hash identically, so the hash functions are CRC32 based (never
+Python's randomised ``hash``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Tuple
+
+
+class BloomFilterCodec:
+    """Hashing and membership logic shared by both ends of a link.
+
+    Parameters
+    ----------
+    size_bytes:
+        Wire size of the filter (the paper's default is 128 bytes).
+    num_hashes:
+        Number of hash functions (4 in the paper).
+    salt:
+        Optional distinguishing salt.  Both ends of a link must use the same
+        salt; experiments use 0 everywhere.
+    """
+
+    def __init__(self, size_bytes: int = 128, num_hashes: int = 4, salt: int = 0) -> None:
+        if size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.size_bytes = size_bytes
+        self.num_bits = size_bytes * 8
+        self.num_hashes = num_hashes
+        self.salt = salt
+
+    def bit_positions(self, vfid: int) -> Tuple[int, ...]:
+        """The bit positions a VFID maps to (deterministic across processes)."""
+        positions = []
+        for i in range(self.num_hashes):
+            data = f"{self.salt}:{i}:{vfid}".encode("ascii")
+            positions.append(zlib.crc32(data) % self.num_bits)
+        return tuple(positions)
+
+    def empty_bitmap(self) -> bytes:
+        return bytes(self.size_bytes)
+
+    def contains(self, bitmap: bytes, vfid: int) -> bool:
+        """Membership test against a wire bitmap (false positives possible)."""
+        if bitmap is None:
+            return False
+        for pos in self.bit_positions(vfid):
+            byte_index, bit_index = divmod(pos, 8)
+            if byte_index >= len(bitmap) or not (bitmap[byte_index] >> bit_index) & 1:
+                return False
+        return True
+
+    def encode(self, vfids: Iterable[int]) -> bytes:
+        """Build a wire bitmap directly from a collection of VFIDs."""
+        bits = bytearray(self.size_bytes)
+        for vfid in vfids:
+            for pos in self.bit_positions(vfid):
+                byte_index, bit_index = divmod(pos, 8)
+                bits[byte_index] |= 1 << bit_index
+        return bytes(bits)
+
+
+class CountingBloomFilter:
+    """The downstream switch's per-ingress pause filter.
+
+    Each bit of the wire filter is backed by a small counter so that removing
+    one VFID does not accidentally unpause another VFID sharing a bit
+    position (§3.6: "If two paused VFIDs map to the same bloom filter bit
+    position, the count will be two ...").
+    """
+
+    def __init__(self, codec: BloomFilterCodec) -> None:
+        self.codec = codec
+        self._counts: List[int] = [0] * codec.num_bits
+        self._members = 0
+
+    def __len__(self) -> int:
+        """Number of add() calls currently outstanding (not distinct VFIDs)."""
+        return self._members
+
+    def add(self, vfid: int) -> None:
+        for pos in self.codec.bit_positions(vfid):
+            self._counts[pos] += 1
+        self._members += 1
+
+    def remove(self, vfid: int) -> None:
+        positions = self.codec.bit_positions(vfid)
+        for pos in positions:
+            if self._counts[pos] <= 0:
+                raise ValueError(f"removing VFID {vfid} that was never added")
+        for pos in positions:
+            self._counts[pos] -= 1
+        self._members -= 1
+
+    def contains(self, vfid: int) -> bool:
+        return all(self._counts[pos] > 0 for pos in self.codec.bit_positions(vfid))
+
+    def is_empty(self) -> bool:
+        return self._members == 0
+
+    def to_bitmap(self) -> bytes:
+        """The wire representation sent upstream (1 bit per non-zero counter)."""
+        bits = bytearray(self.codec.size_bytes)
+        for pos, count in enumerate(self._counts):
+            if count > 0:
+                byte_index, bit_index = divmod(pos, 8)
+                bits[byte_index] |= 1 << bit_index
+        return bytes(bits)
+
+    def max_counter(self) -> int:
+        return max(self._counts) if self._counts else 0

@@ -1,0 +1,251 @@
+"""The BFC egress-port discipline.
+
+This class glues the BFC mechanisms together for one egress port:
+
+* on **enqueue** it looks the packet's flow up in the switch-wide virtual-flow
+  table (creating an entry and assigning a physical queue if needed), steers
+  marked first packets to the high-priority queue, and applies the pause rule
+  of §3.4: if the flow's physical queue now exceeds the pause threshold
+  ``Th = (HRTT + tau) * mu / Nactive``, the flow is paused one hop upstream via
+  the per-ingress counting Bloom filter;
+* on **dequeue** it serves the high-priority queue first and then deficit
+  round robin over physical queues whose head is not paused by the most recent
+  downstream Bloom filter, reclaims flow-table entries and physical queues
+  when a flow's last packet leaves, and applies the resume rule of §3.5
+  (at most ``resumes_per_interval`` flows per queue per Bloom interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+from .config import BfcConfig
+from .pause import PauseThresholds, ResumeList
+from .queues import PhysicalQueuePool
+from .scheduler import HIGH_PRIORITY_QUEUE, OVERFLOW_QUEUE, BfcScheduler
+from .vfid import FlowEntry, packet_vfid
+
+
+@dataclass
+class BfcEgressStats:
+    """Per-egress-port BFC accounting used by the evaluation figures."""
+
+    enqueued_packets: int = 0
+    dequeued_packets: int = 0
+    high_priority_packets: int = 0
+    overflow_packets: int = 0
+    pauses_sent: int = 0
+    resumes_sent: int = 0
+    max_queue_bytes: int = 0
+    max_occupied_queues: int = 0
+
+
+class BfcEgressDiscipline:
+    """Data-plane discipline for one BFC egress port (implements DataDiscipline)."""
+
+    def __init__(
+        self,
+        agent,
+        egress_index: int,
+        link_rate_bps: float,
+        link_delay_ns: int,
+        rng=None,
+    ) -> None:
+        self.agent = agent
+        self.config: BfcConfig = agent.config
+        self.egress_index = egress_index
+        self.scheduler = BfcScheduler(self.config)
+        self.pool = PhysicalQueuePool(self.config, rng=rng)
+        self.thresholds = PauseThresholds(self.config, link_rate_bps, link_delay_ns)
+        self.resume_lists: Dict[int, ResumeList] = {}
+        self.downstream_filter: Optional[bytes] = None
+        self.stats = BfcEgressStats()
+        agent.register_discipline(self)
+
+    # ------------------------------------------------------------------ enqueue --
+
+    def enqueue(self, packet: Packet, ingress: int) -> bool:
+        vfid = packet_vfid(packet, self.config.num_vfids)
+        entry = self.agent.flow_table.lookup_or_insert(
+            vfid, ingress, self.egress_index, key=packet.key
+        )
+        self.stats.enqueued_packets += 1
+        if entry is None:
+            # Neither the hash-table bucket nor the overflow cache had room:
+            # divert to the per-egress overflow queue (§3.8).
+            self.scheduler.push_overflow(packet)
+            self.stats.overflow_packets += 1
+            return True
+        entry.packets += 1
+        entry.bytes += packet.size
+        if self._should_use_high_priority(packet, entry):
+            self.scheduler.push_high_priority(packet)
+            self.stats.high_priority_packets += 1
+            return True
+        if entry.queue is None:
+            entry.queue = self.pool.assign(vfid)
+        queue = entry.queue
+        self.scheduler.push_queue(queue, packet)
+        queue_bytes = self.scheduler.queue_bytes(queue)
+        if queue_bytes > self.stats.max_queue_bytes:
+            self.stats.max_queue_bytes = queue_bytes
+        occupied = self.pool.occupied_queues()
+        if occupied > self.stats.max_occupied_queues:
+            self.stats.max_occupied_queues = occupied
+        self._check_pause(entry, queue_bytes)
+        return True
+
+    def _should_use_high_priority(self, packet: Packet, entry: FlowEntry) -> bool:
+        """§3.7: first (marked) packet of a flow, nothing else queued, not paused."""
+        if not self.config.use_high_priority_queue:
+            return False
+        return (
+            packet.first_of_flow
+            and entry.packets == 1
+            and not entry.paused_upstream
+        )
+
+    def _check_pause(self, entry: FlowEntry, queue_bytes: float) -> None:
+        """Pause the arriving packet's flow if its queue exceeds the threshold."""
+        if entry.paused_upstream:
+            return
+        threshold = self.thresholds.threshold_bytes(self.active_queue_count())
+        if queue_bytes > threshold:
+            if self.agent.pause_flow(entry.vfid, entry.ingress):
+                self.stats.pauses_sent += 1
+            entry.paused_upstream = True
+            # A pause supersedes any pending resume for the same flow.
+            if entry.queue is not None:
+                self._resume_list(entry.queue).discard(entry.vfid, entry.ingress)
+
+    # ------------------------------------------------------------------ dequeue --
+
+    def dequeue(self) -> Optional[Packet]:
+        result = self.scheduler.pop(self._queue_eligible)
+        if result is None:
+            return None
+        packet, source_queue = result
+        self.stats.dequeued_packets += 1
+        self._handle_departure(packet, source_queue)
+        return packet
+
+    def _queue_eligible(self, qid: int) -> bool:
+        """A queue may be served unless its head packet is paused downstream."""
+        if self.downstream_filter is None:
+            return True
+        head = self.scheduler.head_packet(qid)
+        if head is None:
+            return False
+        vfid = packet_vfid(head, self.config.num_vfids)
+        return not self.agent.codec.contains(self.downstream_filter, vfid)
+
+    def _handle_departure(self, packet: Packet, source_queue: int) -> None:
+        if source_queue == OVERFLOW_QUEUE:
+            # Overflow-queue packets belong to flows without a table entry.
+            return
+        vfid = packet_vfid(packet, self.config.num_vfids)
+        ingress = packet.cur_ingress
+        entry = self.agent.flow_table.lookup(vfid, ingress, self.egress_index)
+        if entry is None:
+            return
+        entry.packets -= 1
+        entry.bytes -= packet.size
+        self._check_resume(entry, source_queue)
+        if entry.packets <= 0:
+            self._reclaim(entry)
+
+    def _check_resume(self, entry: FlowEntry, source_queue: int) -> None:
+        """§3.5: consider resuming a paused flow when its queue drains below Th."""
+        if not entry.paused_upstream:
+            return
+        queue = entry.queue if entry.queue is not None else source_queue
+        if queue in (HIGH_PRIORITY_QUEUE, OVERFLOW_QUEUE) or queue is None:
+            queue_bytes = 0
+            queue = 0
+        else:
+            queue_bytes = self.scheduler.queue_bytes(queue)
+        threshold = self.thresholds.threshold_bytes(self.active_queue_count())
+        if queue_bytes > threshold:
+            return
+        if self.config.limit_resume_rate:
+            self._resume_list(queue).add(entry.vfid, entry.ingress)
+            entry.resume_pending = True
+        else:
+            # BFC-BufferOpt ablation: resume immediately, without rate limiting.
+            if self.agent.resume_flow(entry.vfid, entry.ingress):
+                self.stats.resumes_sent += 1
+            entry.paused_upstream = False
+
+    def _reclaim(self, entry: FlowEntry) -> None:
+        """The flow's last packet left this switch: release queue and table entry."""
+        if entry.paused_upstream and not entry.resume_pending:
+            # The pause state must not leak once the table entry is gone;
+            # queue it for the (rate-limited) resume path.
+            queue = entry.queue if entry.queue is not None else 0
+            self._resume_list(queue).add(entry.vfid, entry.ingress)
+        if entry.queue is not None:
+            self.pool.release(entry.queue)
+            entry.queue = None
+        self.agent.flow_table.remove(entry)
+
+    # ------------------------------------------------------------------ resumes --
+
+    def _resume_list(self, queue: int) -> ResumeList:
+        lst = self.resume_lists.get(queue)
+        if lst is None:
+            lst = ResumeList()
+            self.resume_lists[queue] = lst
+        return lst
+
+    def collect_resumes(self) -> List[Tuple[int, int]]:
+        """Pop up to ``resumes_per_interval`` flows per queue to unpause now.
+
+        Called by the BFC agent once per Bloom-filter interval (tau); the
+        returned ``(vfid, ingress)`` pairs are removed from the counting Bloom
+        filters, which resumes them at the upstream hop.
+        """
+        resumed: List[Tuple[int, int]] = []
+        for lst in self.resume_lists.values():
+            for _ in range(self.config.resumes_per_interval):
+                item = lst.pop()
+                if item is None:
+                    break
+                resumed.append(item)
+        for vfid, ingress in resumed:
+            entry = self.agent.flow_table.lookup(vfid, ingress, self.egress_index)
+            if entry is not None:
+                entry.paused_upstream = False
+                entry.resume_pending = False
+            self.stats.resumes_sent += 1
+        return resumed
+
+    # ------------------------------------------------------------------ queries --
+
+    def active_queue_count(self) -> int:
+        """Nactive: non-empty queues whose head is not paused downstream."""
+        count = 0
+        for qid in self.scheduler.nonempty_queues():
+            if self._queue_eligible(qid):
+                count += 1
+        return max(1, count)
+
+    def apply_downstream_filter(self, bitmap: Optional[bytes]) -> None:
+        """Install the most recent Bloom filter received from the next hop."""
+        self.downstream_filter = bitmap
+
+    def occupied_physical_queues(self) -> int:
+        return self.pool.occupied_queues()
+
+    def per_queue_bytes(self) -> List[int]:
+        return self.scheduler.per_queue_bytes()
+
+    # -- DataDiscipline interface ----------------------------------------------------
+
+    def backlog_bytes(self) -> int:
+        return self.scheduler.backlog_bytes()
+
+    def backlog_packets(self) -> int:
+        return self.scheduler.backlog_packets()

@@ -1,0 +1,145 @@
+"""The BFC egress scheduler: packet storage and service order (§3.3, §3.7).
+
+Service order at a BFC egress port is:
+
+1. the **high-priority queue** holding the (marked) first packet of new flows
+   — strict priority, never paused;
+2. **deficit round robin** over the physical queues whose head packet is not
+   currently paused by the downstream Bloom filter, plus the **overflow
+   queue** (packets whose flow could not get a hash-table entry), which is
+   scheduled like a normal physical queue.
+
+The scheduler only stores packets and picks the next one; pause/resume policy
+lives in :mod:`repro.core.discipline`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.sim.disciplines import DeficitRoundRobin
+from repro.sim.packet import Packet
+
+from .config import BfcConfig
+
+#: Pseudo queue identifier for the per-egress overflow queue.
+OVERFLOW_QUEUE = -2
+#: Pseudo queue identifier for the high-priority queue.
+HIGH_PRIORITY_QUEUE = -1
+
+
+class BfcScheduler:
+    """Packet storage and DRR service for one BFC egress port."""
+
+    def __init__(self, config: BfcConfig) -> None:
+        self.config = config
+        self.num_queues = config.num_physical_queues
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(self.num_queues)]
+        self._queue_bytes: List[int] = [0] * self.num_queues
+        self._high_priority: Deque[Packet] = deque()
+        self._high_priority_bytes = 0
+        self._overflow: Deque[Packet] = deque()
+        self._overflow_bytes = 0
+        self._total_bytes = 0
+        self._total_packets = 0
+        self._drr = DeficitRoundRobin(quantum=config.mtu + 48)
+
+    # -- enqueue -----------------------------------------------------------------
+
+    def push_high_priority(self, packet: Packet) -> None:
+        self._high_priority.append(packet)
+        self._high_priority_bytes += packet.size
+        self._account(packet, +1)
+
+    def push_queue(self, queue: int, packet: Packet) -> None:
+        self._queues[queue].append(packet)
+        self._queue_bytes[queue] += packet.size
+        self._drr.activate(queue)
+        self._account(packet, +1)
+
+    def push_overflow(self, packet: Packet) -> None:
+        self._overflow.append(packet)
+        self._overflow_bytes += packet.size
+        self._drr.activate(OVERFLOW_QUEUE)
+        self._account(packet, +1)
+
+    def _account(self, packet: Packet, direction: int) -> None:
+        self._total_bytes += direction * packet.size
+        self._total_packets += direction
+
+    # -- dequeue ------------------------------------------------------------------
+
+    def pop(self, queue_eligible: Callable[[int], bool]) -> Optional[Tuple[Packet, int]]:
+        """Pick the next packet to send.
+
+        ``queue_eligible(queue_id)`` decides whether a (physical or overflow)
+        queue may be served right now — the discipline uses it to implement
+        Bloom-filter pauses.  Returns ``(packet, source_queue)`` or ``None``.
+        """
+        if self._high_priority:
+            packet = self._high_priority.popleft()
+            self._high_priority_bytes -= packet.size
+            self._account(packet, -1)
+            return packet, HIGH_PRIORITY_QUEUE
+        qid = self._drr.select(self._head_size, eligible=queue_eligible)
+        if qid is None:
+            return None
+        if qid == OVERFLOW_QUEUE:
+            packet = self._overflow.popleft()
+            self._overflow_bytes -= packet.size
+            if not self._overflow:
+                self._drr.deactivate(OVERFLOW_QUEUE)
+        else:
+            packet = self._queues[qid].popleft()
+            self._queue_bytes[qid] -= packet.size
+            if not self._queues[qid]:
+                self._drr.deactivate(qid)
+        self._account(packet, -1)
+        return packet, qid
+
+    def _head_size(self, qid: int) -> Optional[int]:
+        if qid == OVERFLOW_QUEUE:
+            return self._overflow[0].size if self._overflow else None
+        queue = self._queues[qid]
+        return queue[0].size if queue else None
+
+    # -- introspection ---------------------------------------------------------------
+
+    def head_packet(self, qid: int) -> Optional[Packet]:
+        if qid == OVERFLOW_QUEUE:
+            return self._overflow[0] if self._overflow else None
+        if qid == HIGH_PRIORITY_QUEUE:
+            return self._high_priority[0] if self._high_priority else None
+        queue = self._queues[qid]
+        return queue[0] if queue else None
+
+    def queue_bytes(self, qid: int) -> int:
+        if qid == OVERFLOW_QUEUE:
+            return self._overflow_bytes
+        if qid == HIGH_PRIORITY_QUEUE:
+            return self._high_priority_bytes
+        return self._queue_bytes[qid]
+
+    def queue_packets(self, qid: int) -> int:
+        if qid == OVERFLOW_QUEUE:
+            return len(self._overflow)
+        if qid == HIGH_PRIORITY_QUEUE:
+            return len(self._high_priority)
+        return len(self._queues[qid])
+
+    def nonempty_queues(self) -> List[int]:
+        """Physical queues (and the overflow queue) that hold packets."""
+        result = [qid for qid in range(self.num_queues) if self._queues[qid]]
+        if self._overflow:
+            result.append(OVERFLOW_QUEUE)
+        return result
+
+    def per_queue_bytes(self) -> List[int]:
+        return list(self._queue_bytes)
+
+    def backlog_bytes(self) -> int:
+        return self._total_bytes
+
+    def backlog_packets(self) -> int:
+        return self._total_packets

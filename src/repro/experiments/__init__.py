@@ -1,0 +1,24 @@
+"""Experiment harness: scheme wiring, the runner, and per-figure scenarios."""
+
+from .schemes import SCHEMES, SchemeEnvironment, SchemeSpec, available_schemes
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    TrafficSpec,
+    run_experiment,
+    run_schemes,
+)
+from . import scenarios
+
+__all__ = [
+    "SCHEMES",
+    "SchemeSpec",
+    "SchemeEnvironment",
+    "available_schemes",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "TrafficSpec",
+    "run_experiment",
+    "run_schemes",
+    "scenarios",
+]

@@ -1,0 +1,409 @@
+"""Experiment runner: build a topology, attach a scheme, replay a trace, measure.
+
+This is the layer every benchmark and example drives.  A single call to
+:func:`run_experiment` performs one simulation run and returns an
+:class:`ExperimentResult` with the flow records, buffer samples, pause-time
+shares and scheme-specific statistics needed to regenerate the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BfcConfig
+from repro.core.switchlogic import BfcSwitch
+from repro.congestion.dcqcn import DcqcnConfig
+from repro.congestion.hpcc import HpccConfig
+from repro.sim import units
+from repro.sim.engine import Simulator
+from repro.sim.flow import Flow, reset_flow_ids
+from repro.sim.stats import (
+    BufferSampler,
+    FlowRecord,
+    FlowStats,
+    QueueSampler,
+)
+from repro.topology.clos import ClosParams, build_leaf_spine
+from repro.topology.crossdc import CrossDcParams, build_cross_dc
+from repro.topology.topology import Topology
+from repro.workloads.generator import WorkloadSpec, generate_workload
+from repro.workloads.incast import IncastSpec, generate_incast_series, incast_period_for_load
+from repro.workloads.trace import FlowTrace
+
+from .schemes import SchemeEnvironment, get_scheme
+
+
+@dataclass
+class TrafficSpec:
+    """Describes the traffic of one experiment.
+
+    Any combination of a background workload, a periodic incast process and an
+    explicit flow list can be supplied; they are merged into a single trace.
+    """
+
+    workload: Optional[WorkloadSpec] = None
+    incast_load: Optional[float] = None
+    incast_fan_in: int = 100
+    incast_aggregate_bytes: int = 20_000_000
+    incast_period_ns: Optional[int] = None
+    incast_receiver: Optional[int] = None
+    explicit_flows: Optional[FlowTrace] = None
+    seed: int = 1
+
+    def build(
+        self,
+        host_ids: Sequence[int],
+        host_link_rate_bps: float,
+        duration_ns: int,
+        src_hosts: Optional[Sequence[int]] = None,
+        dst_hosts: Optional[Sequence[int]] = None,
+    ) -> FlowTrace:
+        trace = FlowTrace([])
+        if self.workload is not None:
+            trace = trace.merge(
+                generate_workload(
+                    self.workload,
+                    host_ids,
+                    host_link_rate_bps,
+                    seed=self.seed,
+                    src_hosts=src_hosts,
+                    dst_hosts=dst_hosts,
+                )
+            )
+        if self.incast_load is not None or self.incast_period_ns is not None:
+            period = self.incast_period_ns
+            if period is None:
+                period = incast_period_for_load(
+                    self.incast_load,
+                    self.incast_aggregate_bytes,
+                    len(host_ids),
+                    host_link_rate_bps,
+                )
+            spec = IncastSpec(
+                fan_in=self.incast_fan_in,
+                aggregate_bytes=self.incast_aggregate_bytes,
+                period_ns=period,
+                duration_ns=duration_ns,
+                start_ns=period // 2,
+            )
+            trace = trace.merge(
+                generate_incast_series(
+                    spec, host_ids, seed=self.seed + 1, receiver=self.incast_receiver
+                )
+            )
+        if self.explicit_flows is not None:
+            trace = trace.merge(self.explicit_flows)
+        return trace
+
+
+@dataclass
+class ExperimentConfig:
+    """One simulation run: topology + scheme + traffic + measurement knobs."""
+
+    name: str
+    scheme: str
+    clos: ClosParams
+    traffic: TrafficSpec
+    buffer_bytes: int
+    duration_ns: int
+    drain_ns: int = 0
+    seed: int = 1
+    mtu: int = 1000
+    sample_interval_ns: Optional[int] = None
+    pfc_enabled: bool = True
+    bfc_config: Optional[BfcConfig] = None
+    dcqcn_config: Optional[DcqcnConfig] = None
+    hpcc_config: Optional[HpccConfig] = None
+    cross_dc: Optional[CrossDcParams] = None
+    gateway_buffer_bytes: Optional[int] = None
+    max_events: Optional[int] = None
+
+    def total_duration_ns(self) -> int:
+        drain = self.drain_ns if self.drain_ns > 0 else self.duration_ns // 2
+        return self.duration_ns + drain
+
+    def effective_sample_interval_ns(self) -> int:
+        if self.sample_interval_ns is not None:
+            return self.sample_interval_ns
+        return max(1_000, self.duration_ns // 200)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    config: ExperimentConfig
+    scheme: str
+    flow_stats: FlowStats
+    buffer_sampler: BufferSampler
+    queue_sampler: QueueSampler
+    pause_fractions: Dict[str, List[float]]
+    utilization_per_receiver: Dict[int, float]
+    dropped_packets: int
+    switch_counters: Dict[str, int]
+    collision_fraction: Optional[float]
+    vfid_stats: Dict[str, int]
+    flows_offered: int
+    events_processed: int
+    wall_seconds: float
+
+    # -- convenience ------------------------------------------------------------
+
+    def completion_rate(self) -> float:
+        return self.flow_stats.completion_rate()
+
+    def p99_slowdown(self, include_incast: bool = False) -> float:
+        from repro.sim.stats import percentile
+
+        values = self.flow_stats.slowdowns(include_incast)
+        return percentile(values, 99) if values else 0.0
+
+    def mean_slowdown(self, include_incast: bool = False) -> float:
+        values = self.flow_stats.slowdowns(include_incast)
+        return sum(values) / len(values) if values else 0.0
+
+    def slowdown_series(self, quantile: float = 99.0, bins=None):
+        from repro.analysis.fct import slowdown_series
+
+        return slowdown_series(self.flow_stats.records, quantile=quantile, bins=bins)
+
+    def mean_utilization(self, active_only: bool = True) -> float:
+        values = [
+            u
+            for u in self.utilization_per_receiver.values()
+            if not active_only or u > 1e-6
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def pause_fraction_by_class(self) -> Dict[str, float]:
+        return {
+            link_class: (sum(values) / len(values) if values else 0.0)
+            for link_class, values in self.pause_fractions.items()
+        }
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+def _build_environment(config: ExperimentConfig, sim: Simulator) -> SchemeEnvironment:
+    clos = config.clos
+    base_rtt = clos.base_rtt_ns()
+    return SchemeEnvironment(
+        sim=sim,
+        link_rate_bps=clos.link_rate_bps,
+        link_delay_ns=clos.link_delay_ns,
+        base_rtt_ns=base_rtt,
+        bdp_bytes=clos.bdp_bytes(),
+        buffer_bytes=config.buffer_bytes,
+        gateway_buffer_bytes=config.gateway_buffer_bytes,
+        mtu=config.mtu,
+        pfc_enabled=config.pfc_enabled,
+        seed=config.seed,
+        bfc_config=config.bfc_config or BfcConfig(mtu=config.mtu),
+        dcqcn_config=config.dcqcn_config,
+        hpcc_config=config.hpcc_config,
+    )
+
+
+def _build_topology(config: ExperimentConfig, env: SchemeEnvironment) -> Topology:
+    scheme = get_scheme(config.scheme)
+    switch_factory = scheme.switch_factory(env)
+    host_factory = scheme.host_factory(env)
+    if config.cross_dc is not None:
+        topo = build_cross_dc(env.sim, config.cross_dc, switch_factory, host_factory)
+    else:
+        topo = build_leaf_spine(env.sim, config.clos, switch_factory, host_factory)
+    # Hosts and the environment share one flow registry so receivers can mark
+    # flows complete.
+    for host in topo.hosts.values():
+        host.flow_registry = env.flow_registry
+    topo.flow_registry = env.flow_registry
+    return topo
+
+
+def _schedule_sampling(
+    sim: Simulator,
+    topo: Topology,
+    interval_ns: int,
+    until_ns: int,
+    buffer_sampler: BufferSampler,
+    queue_sampler: QueueSampler,
+) -> None:
+    def sample() -> None:
+        for switch in topo.all_switches():
+            buffer_sampler.record(switch.name, switch.buffer_occupancy())
+            if isinstance(switch, BfcSwitch):
+                occupied = 0
+                for discipline in switch.bfc_disciplines():
+                    occupied += discipline.occupied_physical_queues()
+                    for backlog in discipline.per_queue_bytes():
+                        if backlog > 0:
+                            queue_sampler.record_queue(backlog)
+                queue_sampler.record_occupied(occupied)
+        if sim.now + interval_ns <= until_ns:
+            sim.schedule(interval_ns, sample)
+
+    sim.schedule(interval_ns, sample)
+
+
+def _harvest_flow_records(
+    topo: Topology, flows: Sequence[Flow], mtu: int
+) -> FlowStats:
+    stats = FlowStats()
+    line_rate = topo.host_link_rate_bps
+    for flow in flows:
+        try:
+            delay = topo.one_way_delay_ns(flow.src, flow.dst)
+        except (ValueError, RuntimeError, KeyError):
+            delay = 2 * topo.link_delay_ns
+        stats.add(
+            FlowRecord(
+                flow_id=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                size=flow.size,
+                start_ns=flow.start_ns,
+                finish_ns=flow.finish_ns,
+                slowdown=flow.slowdown(line_rate, delay, mtu),
+                is_incast=flow.is_incast,
+                tag=flow.tag,
+                retransmissions=flow.retransmitted_packets,
+            )
+        )
+    return stats
+
+
+def _harvest_pause_fractions(topo: Topology, now_ns: int) -> Dict[str, List[float]]:
+    result: Dict[str, List[float]] = {}
+    for switch in topo.all_switches():
+        for iface in switch.interfaces:
+            fraction = iface.tx.pfc_meter.paused_fraction(now_ns)
+            result.setdefault(iface.link_class, []).append(fraction)
+    for host in topo.hosts.values():
+        for iface in host.interfaces:
+            fraction = iface.tx.pfc_meter.paused_fraction(now_ns)
+            result.setdefault(iface.link_class, []).append(fraction)
+    return result
+
+
+def _harvest_utilization(topo: Topology, duration_ns: int) -> Dict[int, float]:
+    """Utilization of each receiver's downlink (ToR -> host)."""
+    result: Dict[int, float] = {}
+    for host_id, host in topo.hosts.items():
+        tor = topo.tor_switch_of(host_id)
+        iface = tor.interface_to(host)
+        if iface is None:
+            continue
+        result[host_id] = iface.tx.utilization(duration_ns)
+    return result
+
+
+def _harvest_bfc_stats(topo: Topology) -> (Optional[float], Dict[str, int]):
+    bfc_switches = [s for s in topo.all_switches() if isinstance(s, BfcSwitch)]
+    if not bfc_switches:
+        return None, {}
+    assignments = 0
+    collisions = 0
+    vfid_stats = {
+        "vfid_collisions": 0,
+        "bucket_overflows": 0,
+        "cache_overflows": 0,
+        "table_inserts": 0,
+        "max_active_entries": 0,
+        "pauses": 0,
+        "resumes": 0,
+        "bloom_frames_sent": 0,
+    }
+    for switch in bfc_switches:
+        for discipline in switch.bfc_disciplines():
+            assignments += discipline.pool.stats.assignments
+            collisions += discipline.pool.stats.collisions
+        table = switch.agent.flow_table.stats
+        vfid_stats["vfid_collisions"] += table.vfid_collisions
+        vfid_stats["bucket_overflows"] += table.bucket_overflows
+        vfid_stats["cache_overflows"] += table.cache_overflows
+        vfid_stats["table_inserts"] += table.inserts
+        vfid_stats["max_active_entries"] = max(
+            vfid_stats["max_active_entries"], table.max_active_entries
+        )
+        vfid_stats["pauses"] += switch.agent.counters.get("pauses")
+        vfid_stats["resumes"] += switch.agent.counters.get("resumes")
+        vfid_stats["bloom_frames_sent"] += switch.agent.counters.get("bloom_frames_sent")
+    collision_fraction = collisions / assignments if assignments else 0.0
+    return collision_fraction, vfid_stats
+
+
+def _aggregate_switch_counters(topo: Topology) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for switch in topo.all_switches():
+        for name, value in switch.counters.as_dict().items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment end to end and return its measurements."""
+    started = time.monotonic()
+    reset_flow_ids()
+    sim = Simulator(seed=config.seed)
+    env = _build_environment(config, sim)
+    topo = _build_topology(config, env)
+
+    host_ids = topo.host_ids()
+    trace = config.traffic.build(
+        host_ids, topo.host_link_rate_bps, config.duration_ns
+    )
+    topo.start_flows(trace)
+
+    buffer_sampler = BufferSampler()
+    queue_sampler = QueueSampler()
+    _schedule_sampling(
+        sim,
+        topo,
+        config.effective_sample_interval_ns(),
+        config.total_duration_ns(),
+        buffer_sampler,
+        queue_sampler,
+    )
+
+    sim.run(until=config.total_duration_ns(), max_events=config.max_events)
+
+    flow_stats = _harvest_flow_records(topo, list(trace), config.mtu)
+    pause_fractions = _harvest_pause_fractions(topo, sim.now)
+    utilization = _harvest_utilization(topo, config.duration_ns)
+    collision_fraction, vfid_stats = _harvest_bfc_stats(topo)
+    counters = _aggregate_switch_counters(topo)
+
+    return ExperimentResult(
+        config=config,
+        scheme=config.scheme,
+        flow_stats=flow_stats,
+        buffer_sampler=buffer_sampler,
+        queue_sampler=queue_sampler,
+        pause_fractions=pause_fractions,
+        utilization_per_receiver=utilization,
+        dropped_packets=topo.total_dropped_packets(),
+        switch_counters=counters,
+        collision_fraction=collision_fraction,
+        vfid_stats=vfid_stats,
+        flows_offered=len(trace),
+        events_processed=sim.events_processed,
+        wall_seconds=time.monotonic() - started,
+    )
+
+
+def run_schemes(
+    base_config: ExperimentConfig, schemes: Sequence[str]
+) -> Dict[str, ExperimentResult]:
+    """Run the same experiment once per scheme (one line per scheme in a figure)."""
+    results: Dict[str, ExperimentResult] = {}
+    for scheme in schemes:
+        config = ExperimentConfig(**{**base_config.__dict__, "scheme": scheme,
+                                     "name": f"{base_config.name}/{scheme}"})
+        results[scheme] = run_experiment(config)
+    return results

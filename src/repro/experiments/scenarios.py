@@ -1,0 +1,505 @@
+"""Per-figure experiment scenarios.
+
+Every figure of the paper's evaluation has a factory here that returns the
+set of :class:`~repro.experiments.runner.ExperimentConfig` objects needed to
+regenerate it, at one of three scales:
+
+* ``tiny``  — default for benchmarks and CI: a 8-host, 2-ToR, 2-spine fabric
+  at 5 Gbps with sub-millisecond traces.  Runs in seconds per scheme.
+* ``small`` — a 16-host, 2-ToR, 4-spine fabric at 10 Gbps, millisecond traces.
+* ``paper`` — the published parameters (T1/T2 at 100 Gbps, 12 MB buffers).
+  Provided for completeness; a pure-Python run at this scale takes hours.
+
+The factories only build configurations; the benchmarks (and users) run them
+via :func:`repro.experiments.runner.run_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BfcConfig
+from repro.sim import units
+from repro.topology.clos import ClosParams, paper_t1_params, paper_t2_params, scaled_params
+from repro.topology.crossdc import CrossDcParams
+from repro.workloads.distributions import FB_HADOOP, GOOGLE, WEBSEARCH, EmpiricalSizeDistribution
+from repro.workloads.generator import WorkloadSpec, generate_workload
+from repro.workloads.longlived import long_lived_flows, many_to_one_flows
+from repro.workloads.trace import FlowTrace
+
+from .runner import ExperimentConfig, TrafficSpec
+
+#: Schemes shown in the paper's headline comparison (Fig. 5).
+HEADLINE_SCHEMES: List[str] = [
+    "BFC",
+    "Ideal-FQ",
+    "DCQCN",
+    "DCQCN+Win",
+    "HPCC",
+    "DCQCN+Win+SFQ",
+]
+
+
+@dataclass
+class ScenarioScale:
+    """Topology / trace sizing for one scale preset."""
+
+    name: str
+    clos: ClosParams
+    buffer_time_us: float
+    duration_ns: int
+    max_flow_size: Optional[int]
+    incast_aggregate_bytes: int
+    incast_fan_in: int
+    mtu: int = 1000
+
+    def switch_capacity_bps(self) -> float:
+        ports = self.clos.hosts_per_tor + self.clos.num_spines
+        return ports * self.clos.link_rate_bps
+
+    def buffer_bytes(self) -> int:
+        """Buffer sized to ``buffer_time_us`` of ToR switch capacity.
+
+        The paper's 12 MB buffer on a 2.4 Tbps ToR corresponds to ~40 us of
+        switch capacity (its Fig. 1 metric); scaled topologies keep that ratio.
+        """
+        return int(self.switch_capacity_bps() * self.buffer_time_us * 1e-6 / 8)
+
+    def clamp_fan_in(self) -> int:
+        return min(self.incast_fan_in, self.clos.num_hosts - 1)
+
+
+def get_scale(name: str = "tiny") -> ScenarioScale:
+    """Return one of the scale presets ("tiny", "small", "paper")."""
+    # Note on buffer sizing: the paper's switches hold ~40 us of switch
+    # capacity (Fig. 1).  At scaled-down link rates the BFC feedback overshoot
+    # ((HRTT + tau) * mu per paused flow) is dominated by MTU serialization
+    # time, which does not shrink with the buffer, so the scaled presets use a
+    # proportionally larger buffer-time to keep the buffer/overshoot ratio in
+    # the paper's regime (see DESIGN.md and EXPERIMENTS.md).
+    if name == "tiny":
+        return ScenarioScale(
+            name="tiny",
+            clos=scaled_params(
+                num_tors=2, hosts_per_tor=4, num_spines=2, link_rate_bps=units.gbps(10)
+            ),
+            buffer_time_us=120.0,
+            duration_ns=units.microseconds(600),
+            max_flow_size=100_000,
+            incast_aggregate_bytes=100_000,
+            incast_fan_in=7,
+        )
+    if name == "small":
+        return ScenarioScale(
+            name="small",
+            clos=scaled_params(
+                num_tors=2, hosts_per_tor=8, num_spines=4, link_rate_bps=units.gbps(25)
+            ),
+            buffer_time_us=80.0,
+            duration_ns=units.milliseconds(1),
+            max_flow_size=1_000_000,
+            incast_aggregate_bytes=1_000_000,
+            incast_fan_in=15,
+        )
+    if name == "paper":
+        return ScenarioScale(
+            name="paper",
+            clos=paper_t1_params(),
+            buffer_time_us=40.0,
+            duration_ns=units.milliseconds(10),
+            max_flow_size=None,
+            incast_aggregate_bytes=20_000_000,
+            incast_fan_in=100,
+        )
+    raise KeyError(f"unknown scale {name!r}; use 'tiny', 'small' or 'paper'")
+
+
+def _base_config(
+    name: str,
+    scheme: str,
+    scale: ScenarioScale,
+    traffic: TrafficSpec,
+    seed: int = 1,
+    **overrides,
+) -> ExperimentConfig:
+    kwargs = dict(
+        name=name,
+        scheme=scheme,
+        clos=scale.clos,
+        traffic=traffic,
+        buffer_bytes=scale.buffer_bytes(),
+        duration_ns=scale.duration_ns,
+        seed=seed,
+        mtu=scale.mtu,
+    )
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def _background_traffic(
+    scale: ScenarioScale,
+    distribution: EmpiricalSizeDistribution,
+    load: float,
+    incast_load: Optional[float] = None,
+    seed: int = 1,
+) -> TrafficSpec:
+    workload = WorkloadSpec(
+        distribution=distribution,
+        target_load=load,
+        duration_ns=scale.duration_ns,
+        max_flow_size=scale.max_flow_size,
+    )
+    return TrafficSpec(
+        workload=workload,
+        incast_load=incast_load,
+        incast_fan_in=scale.clamp_fan_in(),
+        incast_aggregate_bytes=scale.incast_aggregate_bytes,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — DCQCN buffer occupancy vs link speed (PFC disabled)
+# ---------------------------------------------------------------------------
+
+
+def fig2_configs(scale_name: str = "tiny", seed: int = 1) -> Dict[str, ExperimentConfig]:
+    """DCQCN buffer-occupancy CDF at three link speeds, Google 75% + 5% incast."""
+    scale = get_scale(scale_name)
+    base_rate = scale.clos.link_rate_bps
+    speed_factors = {"1x": 1.0, "2x": 2.0, "4x": 4.0}
+    configs: Dict[str, ExperimentConfig] = {}
+    for label, factor in speed_factors.items():
+        clos = ClosParams(
+            num_tors=scale.clos.num_tors,
+            hosts_per_tor=scale.clos.hosts_per_tor,
+            num_spines=scale.clos.num_spines,
+            link_rate_bps=base_rate * factor,
+            link_delay_ns=scale.clos.link_delay_ns,
+        )
+        speed_scale = ScenarioScale(**{**scale.__dict__, "clos": clos})
+        traffic = _background_traffic(speed_scale, GOOGLE, 0.70, incast_load=0.05, seed=seed)
+        configs[label] = _base_config(
+            f"fig2/{label}", "DCQCN", speed_scale, traffic, seed=seed, pfc_enabled=False
+        )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — DCQCN tail FCT vs switch buffer/capacity ratio
+# ---------------------------------------------------------------------------
+
+
+def fig3_configs(scale_name: str = "tiny", seed: int = 1) -> Dict[str, ExperimentConfig]:
+    """DCQCN p99 FCT slowdown for buffer sizes worth 10/20/30 us of capacity."""
+    scale = get_scale(scale_name)
+    configs: Dict[str, ExperimentConfig] = {}
+    for buffer_us in (10.0, 20.0, 30.0):
+        sized = ScenarioScale(**{**scale.__dict__, "buffer_time_us": buffer_us})
+        traffic = _background_traffic(sized, GOOGLE, 0.70, incast_load=0.05, seed=seed)
+        configs[f"{buffer_us:g}us"] = _base_config(
+            f"fig3/{buffer_us:g}us", "DCQCN", sized, traffic, seed=seed
+        )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — byte-weighted flow size CDFs (no simulation needed)
+# ---------------------------------------------------------------------------
+
+
+def fig4_distributions() -> Dict[str, EmpiricalSizeDistribution]:
+    return {"Google": GOOGLE, "FB_Hadoop": FB_HADOOP, "WebSearch": WEBSEARCH}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — headline tail-latency comparison
+# ---------------------------------------------------------------------------
+
+
+def fig5a_configs(
+    scale_name: str = "tiny",
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """Google distribution, 60% background + 5% incast, all schemes."""
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, GOOGLE, 0.60, incast_load=0.05, seed=seed)
+    return {
+        scheme: _base_config(f"fig5a/{scheme}", scheme, scale, traffic, seed=seed)
+        for scheme in (schemes or HEADLINE_SCHEMES)
+    }
+
+
+def fig5b_configs(
+    scale_name: str = "tiny",
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """FB_Hadoop distribution, 60% background + 5% incast, all schemes."""
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, FB_HADOOP, 0.60, incast_load=0.05, seed=seed)
+    return {
+        scheme: _base_config(f"fig5b/{scheme}", scheme, scale, traffic, seed=seed)
+        for scheme in (schemes or HEADLINE_SCHEMES)
+    }
+
+
+def fig5c_configs(
+    scale_name: str = "tiny",
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """Google distribution, 65% load, no incast, all schemes."""
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, GOOGLE, 0.65, incast_load=None, seed=seed)
+    return {
+        scheme: _base_config(f"fig5c/{scheme}", scheme, scale, traffic, seed=seed)
+        for scheme in (schemes or HEADLINE_SCHEMES)
+    }
+
+
+# Fig. 6 reuses the Fig. 5a runs: buffer occupancy CDF and PFC pause shares.
+fig6_configs = fig5a_configs
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — dynamic vs static physical queue assignment
+# ---------------------------------------------------------------------------
+
+
+def fig7_configs(scale_name: str = "tiny", seed: int = 1) -> Dict[str, ExperimentConfig]:
+    """BFC vs the BFC-VFID straw proposal vs SFQ+InfBuffer on the Fig. 5a workload."""
+    return fig5a_configs(
+        scale_name, schemes=["BFC", "BFC-VFID", "SFQ+InfBuffer"], seed=seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — incast fan-in sweep (utilization and tail buffer occupancy)
+# ---------------------------------------------------------------------------
+
+
+def fig8_configs(
+    scale_name: str = "tiny",
+    schemes: Sequence[str] = ("BFC", "DCQCN+Win"),
+    fan_ins: Optional[Sequence[int]] = None,
+    seed: int = 1,
+) -> Dict[str, Dict[int, ExperimentConfig]]:
+    """Long-lived flows to every receiver plus a periodic incast of growing fan-in."""
+    scale = get_scale(scale_name)
+    host_ids = list(range(scale.clos.num_hosts))
+    if fan_ins is None:
+        max_fan_in = scale.clos.num_hosts - 1
+        fan_ins = sorted({max(2, max_fan_in // 4), max(3, max_fan_in // 2), max_fan_in})
+    # Long-lived background: 4 flows per receiver, each big enough to span the run.
+    longlived_bytes = int(
+        scale.clos.link_rate_bps * scale.duration_ns / (8 * 1e9) / 2
+    )
+    background = long_lived_flows(host_ids, flows_per_receiver=4, size_bytes=max(10_000, longlived_bytes), seed=seed)
+    period_ns = max(scale.duration_ns // 4, 1)
+    configs: Dict[str, Dict[int, ExperimentConfig]] = {}
+    for scheme in schemes:
+        configs[scheme] = {}
+        for fan_in in fan_ins:
+            traffic = TrafficSpec(
+                explicit_flows=background,
+                incast_period_ns=period_ns,
+                incast_fan_in=fan_in,
+                incast_aggregate_bytes=scale.incast_aggregate_bytes,
+                incast_receiver=host_ids[0],
+                seed=seed,
+            )
+            configs[scheme][fan_in] = _base_config(
+                f"fig8/{scheme}/fanin{fan_in}", scheme, scale, traffic, seed=seed
+            )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — cross-data-center experiment
+# ---------------------------------------------------------------------------
+
+
+def fig9_configs(
+    scale_name: str = "tiny",
+    schemes: Sequence[str] = ("BFC", "DCQCN+Win"),
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """Two data centers joined by a long-delay gateway link; 20% inter-DC flows."""
+    scale = get_scale(scale_name)
+    dc_params = scale.clos
+    cross = CrossDcParams(
+        dc_params=dc_params,
+        gateway_link_rate_bps=dc_params.link_rate_bps,
+        gateway_delay_ns=20_000 if scale_name != "paper" else 200_000,
+    )
+    num_hosts = dc_params.num_hosts
+    dc0 = list(range(num_hosts))
+    dc1 = list(range(num_hosts, 2 * num_hosts))
+    all_hosts = dc0 + dc1
+    load = 0.65
+    intra_spec = WorkloadSpec(
+        distribution=FB_HADOOP,
+        target_load=load * 0.8,
+        duration_ns=scale.duration_ns,
+        max_flow_size=scale.max_flow_size,
+        tag="intra-dc",
+    )
+    inter_spec = WorkloadSpec(
+        distribution=FB_HADOOP,
+        target_load=load * 0.2,
+        duration_ns=scale.duration_ns,
+        max_flow_size=scale.max_flow_size,
+        tag="inter-dc",
+    )
+    intra0 = generate_workload(intra_spec, dc0, dc_params.link_rate_bps, seed=seed)
+    intra1 = generate_workload(intra_spec, dc1, dc_params.link_rate_bps, seed=seed + 1)
+    inter = generate_workload(
+        inter_spec, all_hosts, dc_params.link_rate_bps, seed=seed + 2,
+        src_hosts=dc0, dst_hosts=dc1,
+    )
+    flows = intra0.merge(intra1).merge(inter)
+    traffic = TrafficSpec(explicit_flows=flows, seed=seed)
+    configs: Dict[str, ExperimentConfig] = {}
+    for scheme in schemes:
+        configs[scheme] = _base_config(
+            f"fig9/{scheme}",
+            scheme,
+            scale,
+            traffic,
+            seed=seed,
+            cross_dc=cross,
+            gateway_buffer_bytes=5 * scale.buffer_bytes(),
+            drain_ns=scale.duration_ns,
+        )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — physical queue size vs number of concurrent flows
+# ---------------------------------------------------------------------------
+
+
+def fig10_configs(
+    scale_name: str = "tiny",
+    schemes: Sequence[str] = ("BFC", "BFC-BufferOpt"),
+    flow_counts: Sequence[int] = (8, 32, 64),
+    seed: int = 1,
+) -> Dict[str, Dict[int, ExperimentConfig]]:
+    """Concurrent long-lived flows to one receiver; per-physical-queue backlog."""
+    scale = get_scale(scale_name)
+    host_ids = list(range(scale.clos.num_hosts))
+    receiver = host_ids[0]
+    size_bytes = int(scale.clos.link_rate_bps * scale.duration_ns / (8 * 1e9))
+    configs: Dict[str, Dict[int, ExperimentConfig]] = {}
+    for scheme in schemes:
+        configs[scheme] = {}
+        for count in flow_counts:
+            flows = many_to_one_flows(
+                host_ids, receiver, num_flows=count, size_bytes=max(20_000, size_bytes), seed=seed
+            )
+            traffic = TrafficSpec(explicit_flows=flows, seed=seed)
+            configs[scheme][count] = _base_config(
+                f"fig10/{scheme}/{count}flows", scheme, scale, traffic, seed=seed
+            )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — high-priority-queue ablation at high load
+# ---------------------------------------------------------------------------
+
+
+def fig11_configs(scale_name: str = "tiny", seed: int = 1) -> Dict[str, ExperimentConfig]:
+    """Google 85% + 5% incast: BFC with and without the high-priority queue."""
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, GOOGLE, 0.85, incast_load=0.05, seed=seed)
+    return {
+        scheme: _base_config(f"fig11/{scheme}", scheme, scale, traffic, seed=seed)
+        for scheme in ("BFC", "BFC-HighPriorityQ")
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — sensitivity to the number of physical queues
+# ---------------------------------------------------------------------------
+
+
+def fig12_configs(
+    scale_name: str = "tiny",
+    queue_counts: Sequence[int] = (8, 16, 32, 64),
+    include_ideal: bool = True,
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """BFC with 8-128 physical queues per port on the Fig. 5a workload."""
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, GOOGLE, 0.60, incast_load=0.05, seed=seed)
+    configs: Dict[str, ExperimentConfig] = {}
+    for count in queue_counts:
+        configs[f"{count}q"] = _base_config(
+            f"fig12/{count}q",
+            "BFC",
+            scale,
+            traffic,
+            seed=seed,
+            bfc_config=BfcConfig(num_physical_queues=count, mtu=scale.mtu),
+        )
+    if include_ideal:
+        configs["Ideal-FQ"] = _base_config(
+            "fig12/Ideal-FQ", "Ideal-FQ", scale, traffic, seed=seed
+        )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — sensitivity to the VFID space
+# ---------------------------------------------------------------------------
+
+
+def fig13_configs(
+    scale_name: str = "tiny",
+    vfid_counts: Sequence[int] = (1_024, 4_096, 16_384, 65_536),
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """BFC with varying virtual-flow hash table sizes on the Fig. 5a workload."""
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, GOOGLE, 0.60, incast_load=0.05, seed=seed)
+    return {
+        f"{count}": _base_config(
+            f"fig13/{count}vfids",
+            "BFC",
+            scale,
+            traffic,
+            seed=seed,
+            bfc_config=BfcConfig(num_vfids=count, mtu=scale.mtu),
+        )
+        for count in vfid_counts
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — sensitivity to the Bloom-filter size
+# ---------------------------------------------------------------------------
+
+
+def fig14_configs(
+    scale_name: str = "tiny",
+    bloom_sizes: Sequence[int] = (16, 32, 64, 128),
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """BFC with 16-128 byte pause-frame Bloom filters on the Fig. 5a workload."""
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, GOOGLE, 0.60, incast_load=0.05, seed=seed)
+    return {
+        f"{size}B": _base_config(
+            f"fig14/{size}B",
+            "BFC",
+            scale,
+            traffic,
+            seed=seed,
+            bfc_config=BfcConfig(bloom_filter_bytes=size, mtu=scale.mtu),
+        )
+        for size in bloom_sizes
+    }

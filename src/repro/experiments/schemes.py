@@ -1,0 +1,344 @@
+"""Scheme registry: how each evaluated scheme is wired into the simulator.
+
+A *scheme* bundles the switch-side and host-side behaviour of one line in the
+paper's figures:
+
+=====================  ==========================================  =============================
+Scheme                 Switch                                      Host / congestion control
+=====================  ==========================================  =============================
+``DCQCN``              FIFO egress, ECN marking, PFC               DCQCN rate control
+``DCQCN+Win``          FIFO egress, ECN marking, PFC               DCQCN + 1-BDP window cap
+``DCQCN+Win+SFQ``      SFQ (32 queues, DRR), ECN marking, PFC      DCQCN + 1-BDP window cap
+``HPCC``               FIFO egress, INT stamping, PFC              HPCC window control
+``Ideal-FQ``           per-flow FQ, infinite buffer, no PFC        line rate + 1-BDP window cap
+``SFQ+InfBuffer``      SFQ (32 queues), infinite buffer, no PFC    line rate + 1-BDP window cap
+``BFC``                BFC egress (dynamic queues), PFC backstop   line rate, BFC NIC
+``BFC-VFID``           BFC with static hash queue assignment       line rate, BFC NIC
+``BFC-HighPriorityQ``  BFC without the high-priority queue         line rate, BFC NIC
+``BFC-BufferOpt``      BFC without the resume-rate limit           line rate, BFC NIC
+``PFC``                FIFO egress, PFC only                       line rate (no CC)
+=====================  ==========================================  =============================
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.congestion.dcqcn import DcqcnConfig, DcqcnControl, DcqcnWindowedControl
+from repro.congestion.hpcc import HpccConfig, HpccControl
+from repro.core.config import BfcConfig
+from repro.core.nic import bfc_nic_class
+from repro.core.switchlogic import BfcSwitch
+from repro.sim.buffer import PfcPolicy
+from repro.sim.disciplines import FifoDiscipline, IdealFqDiscipline, SfqDiscipline
+from repro.sim.flow import Flow
+from repro.sim.host import (
+    CongestionControl,
+    Host,
+    HostConfig,
+    WindowedCongestionControl,
+)
+from repro.sim.switch import EcnConfig, Switch
+
+
+@dataclass
+class SchemeEnvironment:
+    """Everything a scheme needs to instantiate switches and hosts."""
+
+    sim: object
+    link_rate_bps: float
+    link_delay_ns: int
+    base_rtt_ns: int
+    bdp_bytes: int
+    buffer_bytes: int
+    gateway_buffer_bytes: Optional[int] = None
+    mtu: int = 1000
+    pfc_enabled: bool = True
+    pfc_threshold_fraction: float = 0.11
+    ecn_kmin_bytes: Optional[int] = None
+    ecn_kmax_bytes: Optional[int] = None
+    rto_ns: Optional[int] = None
+    seed: int = 1
+    flow_registry: Dict[int, Flow] = field(default_factory=dict)
+    bfc_config: Optional[BfcConfig] = None
+    dcqcn_config: Optional[DcqcnConfig] = None
+    hpcc_config: Optional[HpccConfig] = None
+    num_sfq_queues: int = 32
+
+    def ecn(self) -> EcnConfig:
+        """DCQCN's ECN thresholds, scaled with the BDP like the paper's setup.
+
+        The paper uses Kmin = 100 KB and Kmax = 400 KB at 100 Gbps / 8 us RTT,
+        i.e. one and four end-to-end BDPs; the same ratio is kept when the
+        environment runs at a scaled-down rate.
+        """
+        kmin = self.ecn_kmin_bytes if self.ecn_kmin_bytes is not None else self.bdp_bytes
+        kmax = self.ecn_kmax_bytes if self.ecn_kmax_bytes is not None else 4 * self.bdp_bytes
+        return EcnConfig(enabled=True, kmin=kmin, kmax=kmax, pmax=0.2)
+
+    def pfc(self) -> PfcPolicy:
+        return PfcPolicy(
+            enabled=self.pfc_enabled, threshold_fraction=self.pfc_threshold_fraction
+        )
+
+    def no_pfc(self) -> PfcPolicy:
+        return PfcPolicy(enabled=False)
+
+    def host_rto_ns(self) -> int:
+        if self.rto_ns is not None:
+            return self.rto_ns
+        return max(10 * self.base_rtt_ns, 200_000)
+
+    def effective_bfc_config(self) -> BfcConfig:
+        return self.bfc_config or BfcConfig(mtu=self.mtu)
+
+    def buffer_for(self, tier: str) -> int:
+        if tier == "gateway" and self.gateway_buffer_bytes is not None:
+            return self.gateway_buffer_bytes
+        return self.buffer_bytes
+
+
+@dataclass
+class SchemeSpec:
+    """Factories building the switches and hosts of one scheme."""
+
+    name: str
+    description: str
+    make_switch: Callable[[SchemeEnvironment, str, str], Switch]
+    make_host: Callable[[SchemeEnvironment, str, int], Host]
+    uses_bfc: bool = False
+
+    def switch_factory(self, env: SchemeEnvironment) -> Callable[[str, str], Switch]:
+        return lambda name, tier: self.make_switch(env, name, tier)
+
+    def host_factory(self, env: SchemeEnvironment) -> Callable[[str, int], Host]:
+        return lambda name, host_id: self.make_host(env, name, host_id)
+
+
+# ---------------------------------------------------------------------------
+# Switch builders
+# ---------------------------------------------------------------------------
+
+
+def _fifo_switch(env: SchemeEnvironment, name: str, tier: str, *, ecn: bool, int_enabled: bool) -> Switch:
+    return Switch(
+        env.sim,
+        name,
+        buffer_bytes=env.buffer_for(tier),
+        discipline_factory=lambda iface: FifoDiscipline(),
+        pfc=env.pfc(),
+        ecn=env.ecn() if ecn else EcnConfig(enabled=False),
+        int_enabled=int_enabled,
+        seed=env.seed,
+    )
+
+
+def _sfq_switch(env: SchemeEnvironment, name: str, tier: str, *, ecn: bool, infinite: bool) -> Switch:
+    name_salt = zlib.crc32(name.encode("utf-8")) & 0xFFFF
+    return Switch(
+        env.sim,
+        name,
+        buffer_bytes=0 if infinite else env.buffer_for(tier),
+        discipline_factory=lambda iface: SfqDiscipline(
+            num_queues=env.num_sfq_queues, quantum=env.mtu + 48, salt=name_salt
+        ),
+        pfc=env.no_pfc() if infinite else env.pfc(),
+        ecn=env.ecn() if ecn else EcnConfig(enabled=False),
+        int_enabled=False,
+        seed=env.seed,
+    )
+
+
+def _ideal_fq_switch(env: SchemeEnvironment, name: str, tier: str) -> Switch:
+    return Switch(
+        env.sim,
+        name,
+        buffer_bytes=0,  # infinite
+        discipline_factory=lambda iface: IdealFqDiscipline(quantum=env.mtu + 48),
+        pfc=env.no_pfc(),
+        ecn=EcnConfig(enabled=False),
+        int_enabled=False,
+        seed=env.seed,
+    )
+
+
+def _bfc_switch(env: SchemeEnvironment, name: str, tier: str, config: BfcConfig) -> BfcSwitch:
+    return BfcSwitch(
+        env.sim,
+        name,
+        buffer_bytes=env.buffer_for(tier),
+        bfc_config=config,
+        pfc=env.pfc(),
+        seed=env.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Host builders
+# ---------------------------------------------------------------------------
+
+
+def _host(
+    env: SchemeEnvironment,
+    name: str,
+    host_id: int,
+    cc_factory: Callable[[float], CongestionControl],
+    *,
+    window_cap: Optional[int] = None,
+    int_enabled: bool = False,
+    mark_first: bool = False,
+    nic_class: Optional[type] = None,
+) -> Host:
+    config = HostConfig(
+        mtu=env.mtu,
+        window_cap_bytes=window_cap,
+        int_enabled=int_enabled,
+        mark_first_packet=mark_first,
+        rto_ns=env.host_rto_ns(),
+    )
+    return Host(
+        env.sim,
+        name,
+        host_id,
+        config=config,
+        cc_factory=cc_factory,
+        flow_registry=env.flow_registry,
+        nic_class=nic_class,
+    )
+
+
+def _dcqcn_host(env: SchemeEnvironment, name: str, host_id: int, *, windowed: bool) -> Host:
+    cfg = env.dcqcn_config or DcqcnConfig()
+    if windowed:
+        factory = lambda rate: DcqcnWindowedControl(rate, window_bytes=env.bdp_bytes, config=cfg)
+    else:
+        factory = lambda rate: DcqcnControl(rate, config=cfg)
+    return _host(env, name, host_id, factory)
+
+
+def _hpcc_host(env: SchemeEnvironment, name: str, host_id: int) -> Host:
+    cfg = env.hpcc_config or HpccConfig(base_rtt_ns=env.base_rtt_ns)
+    factory = lambda rate: HpccControl(rate, config=cfg)
+    return _host(env, name, host_id, factory, int_enabled=True)
+
+
+def _windowed_host(env: SchemeEnvironment, name: str, host_id: int) -> Host:
+    factory = lambda rate: WindowedCongestionControl(rate, window_bytes=env.bdp_bytes)
+    return _host(env, name, host_id, factory)
+
+
+def _line_rate_host(env: SchemeEnvironment, name: str, host_id: int) -> Host:
+    factory = lambda rate: CongestionControl(rate)
+    return _host(env, name, host_id, factory)
+
+
+def _bfc_host(env: SchemeEnvironment, name: str, host_id: int, config: BfcConfig) -> Host:
+    factory = lambda rate: CongestionControl(rate)
+    return _host(
+        env,
+        name,
+        host_id,
+        factory,
+        mark_first=True,
+        nic_class=bfc_nic_class(config),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _bfc_spec(name: str, description: str, config_overrides: Dict[str, object]) -> SchemeSpec:
+    def make_switch(env: SchemeEnvironment, switch_name: str, tier: str) -> Switch:
+        config = env.effective_bfc_config().with_overrides(**config_overrides)
+        return _bfc_switch(env, switch_name, tier, config)
+
+    def make_host(env: SchemeEnvironment, host_name: str, host_id: int) -> Host:
+        config = env.effective_bfc_config().with_overrides(**config_overrides)
+        return _bfc_host(env, host_name, host_id, config)
+
+    return SchemeSpec(
+        name=name, description=description, make_switch=make_switch, make_host=make_host, uses_bfc=True
+    )
+
+
+SCHEMES: Dict[str, SchemeSpec] = {
+    "DCQCN": SchemeSpec(
+        name="DCQCN",
+        description="ECN-based end-to-end rate control (FIFO switches, PFC)",
+        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=True, int_enabled=False),
+        make_host=lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=False),
+    ),
+    "DCQCN+Win": SchemeSpec(
+        name="DCQCN+Win",
+        description="DCQCN with a 1-BDP per-flow window cap",
+        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=True, int_enabled=False),
+        make_host=lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=True),
+    ),
+    "DCQCN+Win+SFQ": SchemeSpec(
+        name="DCQCN+Win+SFQ",
+        description="DCQCN+Win with stochastic fair queueing at the switches",
+        make_switch=lambda env, name, tier: _sfq_switch(env, name, tier, ecn=True, infinite=False),
+        make_host=lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=True),
+    ),
+    "HPCC": SchemeSpec(
+        name="HPCC",
+        description="INT-based end-to-end window control (FIFO switches, PFC)",
+        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=False, int_enabled=True),
+        make_host=lambda env, name, hid: _hpcc_host(env, name, hid),
+    ),
+    "Ideal-FQ": SchemeSpec(
+        name="Ideal-FQ",
+        description="Idealised per-flow fair queueing with infinite buffers (unrealisable bound)",
+        make_switch=lambda env, name, tier: _ideal_fq_switch(env, name, tier),
+        make_host=lambda env, name, hid: _windowed_host(env, name, hid),
+    ),
+    "SFQ+InfBuffer": SchemeSpec(
+        name="SFQ+InfBuffer",
+        description="Static SFQ queue assignment with infinite buffers (§4.2 ablation)",
+        make_switch=lambda env, name, tier: _sfq_switch(env, name, tier, ecn=False, infinite=True),
+        make_host=lambda env, name, hid: _windowed_host(env, name, hid),
+    ),
+    "PFC": SchemeSpec(
+        name="PFC",
+        description="Hop-by-hop priority flow control only (no end-to-end CC)",
+        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=False, int_enabled=False),
+        make_host=lambda env, name, hid: _line_rate_host(env, name, hid),
+    ),
+    "BFC": _bfc_spec(
+        "BFC",
+        "Backpressure flow control: per-hop per-flow pauses, dynamic queue assignment",
+        {},
+    ),
+    "BFC-VFID": _bfc_spec(
+        "BFC-VFID",
+        "Straw proposal: static hash assignment of flows to physical queues",
+        {"static_queue_assignment": True},
+    ),
+    "BFC-HighPriorityQ": _bfc_spec(
+        "BFC-HighPriorityQ",
+        "BFC without the high-priority queue for single-packet flows",
+        {"use_high_priority_queue": False},
+    ),
+    "BFC-BufferOpt": _bfc_spec(
+        "BFC-BufferOpt",
+        "BFC without the two-resumes-per-RTT limit",
+        {"limit_resume_rate": False},
+    ),
+}
+
+
+def available_schemes() -> List[str]:
+    return list(SCHEMES)
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {', '.join(sorted(SCHEMES))}"
+        ) from None

@@ -1,0 +1,669 @@
+"""Hosts and their RDMA-style NICs.
+
+The sending side models an RDMA NIC the way the paper (and the DCQCN / HPCC
+simulators it builds on) does:
+
+* each flow is transmitted as a sequence of MTU-sized packets,
+* flows are paced at the rate chosen by the congestion-control module and can
+  additionally be capped by a window (DCQCN+Win, HPCC, Ideal-FQ),
+* loss recovery is Go-Back-N: the receiver NACKs on the first gap and the
+  sender rewinds to the cumulative acknowledgement,
+* a per-flow retransmission timeout acts as the last-resort recovery when the
+  tail of a flow is lost.
+
+The NIC exposes itself to the egress port as a data discipline: the port asks
+for the next packet whenever the line goes idle, and the NIC picks among
+eligible flows in deficit-round-robin order (each flow has its own "queue" at
+the NIC, which is also what BFC assumes of end hosts).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from . import units
+from .disciplines import DeficitRoundRobin
+from .flow import Flow
+from .node import Node
+from .packet import (
+    ACK_SIZE,
+    CNP_SIZE,
+    DATA_HEADER_SIZE,
+    NACK_SIZE,
+    Packet,
+    PacketKind,
+)
+from .stats import Counters
+
+
+@dataclass
+class HostConfig:
+    """Per-host NIC configuration.
+
+    Attributes
+    ----------
+    mtu:
+        Payload bytes per packet (the paper uses 1 KB packets).
+    window_cap_bytes:
+        Optional hard cap on per-flow inflight bytes (the "+Win" variants use
+        one end-to-end bandwidth-delay product).  ``None`` disables the cap.
+    ack_every:
+        Send a cumulative ACK every N in-order data packets (the last packet
+        of a flow is always acknowledged).
+    int_enabled:
+        Stamp outgoing data packets for in-band telemetry (HPCC).
+    cnp_interval_ns:
+        Minimum spacing between DCQCN congestion-notification packets for the
+        same flow (50 us in the DCQCN paper).
+    rto_ns:
+        Retransmission timeout used when the tail of a flow is lost.
+    mark_first_packet:
+        Mark the first packet of every flow (BFC's high-priority-queue hint).
+    loss_recovery:
+        ``"go-back-n"`` (default, what RDMA NICs implement and what the paper
+        assumes) or ``"selective-repeat"`` — an IRN-style receiver that
+        buffers out-of-order packets and asks the sender to retransmit only
+        the missing ones (Mittal et al., SIGCOMM 2018, discussed in §5 of the
+        BFC paper).
+    """
+
+    mtu: int = 1000
+    window_cap_bytes: Optional[int] = None
+    ack_every: int = 1
+    int_enabled: bool = False
+    cnp_interval_ns: int = 50_000
+    rto_ns: int = 2_000_000
+    mark_first_packet: bool = False
+    loss_recovery: str = "go-back-n"
+
+    def __post_init__(self) -> None:
+        if self.loss_recovery not in ("go-back-n", "selective-repeat"):
+            raise ValueError(
+                "loss_recovery must be 'go-back-n' or 'selective-repeat', "
+                f"got {self.loss_recovery!r}"
+            )
+
+
+class SenderFlowState:
+    """Sender-side bookkeeping for one flow."""
+
+    __slots__ = (
+        "flow",
+        "num_packets",
+        "next_seq",
+        "una",
+        "next_allowed_ns",
+        "cc_state",
+        "paused",
+        "last_progress_ns",
+        "rto_event",
+        "completed",
+        "mtu",
+        "retransmit_queue",
+    )
+
+    def __init__(self, flow: Flow, mtu: int) -> None:
+        self.flow = flow
+        self.mtu = mtu
+        self.num_packets = max(1, math.ceil(flow.size / mtu))
+        flow.num_packets = self.num_packets
+        self.next_seq = 0
+        self.una = 0
+        self.next_allowed_ns = 0
+        self.cc_state: Dict[str, float] = {}
+        self.paused = False
+        self.last_progress_ns = 0
+        self.rto_event = None
+        self.completed = False
+        # Selective-repeat only: sequence numbers queued for retransmission.
+        self.retransmit_queue: Deque[int] = deque()
+
+    # -- derived quantities ---------------------------------------------------
+
+    def inflight_packets(self) -> int:
+        return self.next_seq - self.una
+
+    def inflight_bytes(self) -> int:
+        return self.inflight_packets() * (self.mtu + DATA_HEADER_SIZE)
+
+    def remaining_packets(self) -> int:
+        return self.num_packets - self.next_seq
+
+    def has_packets_to_send(self) -> bool:
+        return self.remaining_packets() > 0 or bool(self.retransmit_queue)
+
+    def fully_acked(self) -> bool:
+        return self.una >= self.num_packets
+
+    def packet_payload(self, seq: int) -> int:
+        if seq < self.num_packets - 1:
+            return self.mtu
+        last = self.flow.size - self.mtu * (self.num_packets - 1)
+        return last if last > 0 else self.mtu
+
+
+class ReceiverFlowState:
+    """Receiver-side bookkeeping for one flow (Go-Back-N semantics)."""
+
+    __slots__ = (
+        "flow_id",
+        "expected_seq",
+        "num_packets",
+        "bytes_received",
+        "flow_size",
+        "last_cnp_ns",
+        "last_nack_seq",
+        "completed",
+        "src",
+        "out_of_order",
+    )
+
+    def __init__(self, flow_id: int, flow_size: int, mtu: int, src: int) -> None:
+        self.flow_id = flow_id
+        self.flow_size = flow_size
+        self.num_packets = max(1, math.ceil(flow_size / mtu))
+        self.expected_seq = 0
+        self.bytes_received = 0
+        self.last_cnp_ns = -(10**9)
+        self.last_nack_seq = -1
+        self.completed = False
+        self.src = src
+        # Selective-repeat only: payload bytes of packets received ahead of
+        # the cumulative pointer, keyed by sequence number.
+        self.out_of_order: Dict[int, int] = {}
+
+
+class CongestionControl:
+    """Base congestion-control module (line-rate sender, no window).
+
+    Subclasses override the event hooks and the :meth:`rate_bps` /
+    :meth:`window_bytes` queries.  Per-flow state lives in
+    ``SenderFlowState.cc_state`` so one module instance can serve a whole NIC.
+    """
+
+    name = "line-rate"
+
+    def __init__(self, line_rate_bps: float) -> None:
+        self.line_rate_bps = line_rate_bps
+
+    def on_flow_start(self, fstate: SenderFlowState, now_ns: int) -> None:
+        pass
+
+    def on_ack(self, fstate: SenderFlowState, packet: Packet, now_ns: int) -> None:
+        pass
+
+    def on_nack(self, fstate: SenderFlowState, packet: Packet, now_ns: int) -> None:
+        pass
+
+    def on_cnp(self, fstate: SenderFlowState, now_ns: int) -> None:
+        pass
+
+    def on_packet_sent(self, fstate: SenderFlowState, packet: Packet, now_ns: int) -> None:
+        pass
+
+    def rate_bps(self, fstate: SenderFlowState) -> float:
+        return self.line_rate_bps
+
+    def window_bytes(self, fstate: SenderFlowState) -> Optional[int]:
+        return None
+
+
+class WindowedCongestionControl(CongestionControl):
+    """Line-rate sender with a fixed window cap (one end-to-end BDP).
+
+    Used on its own by Ideal-FQ and SFQ+InfBuffer, and as the base class of
+    the "+Win" DCQCN variant.
+    """
+
+    name = "windowed"
+
+    def __init__(self, line_rate_bps: float, window_bytes: int) -> None:
+        super().__init__(line_rate_bps)
+        self._window = int(window_bytes)
+
+    def window_bytes(self, fstate: SenderFlowState) -> Optional[int]:
+        return self._window
+
+
+class NicScheduler:
+    """The NIC's transmit scheduler, exposed to the egress port as a discipline.
+
+    Flows are served deficit-round-robin among those that are *eligible*:
+    they still have data, are within their congestion window, are not paused
+    (BFC), and their pacing timer has expired.
+    """
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self._drr = DeficitRoundRobin(quantum=host.config.mtu + DATA_HEADER_SIZE)
+        self._flows: Dict[int, SenderFlowState] = {}
+        self._wakeup_event = None
+
+    # -- flow management ------------------------------------------------------
+
+    def add_flow(self, fstate: SenderFlowState) -> None:
+        self._flows[fstate.flow.flow_id] = fstate
+        self._drr.activate(fstate.flow.flow_id)
+
+    def remove_flow(self, flow_id: int) -> None:
+        if flow_id in self._flows:
+            del self._flows[flow_id]
+            self._drr.deactivate(flow_id)
+
+    def flow_state(self, flow_id: int) -> Optional[SenderFlowState]:
+        return self._flows.get(flow_id)
+
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    # -- eligibility ------------------------------------------------------------
+
+    def _flow_is_paused(self, fstate: SenderFlowState) -> bool:
+        """Hook for BFC NICs (Bloom-filter pauses).  Default: never paused."""
+        return fstate.paused
+
+    def _eligible(self, fstate: SenderFlowState, now_ns: int) -> bool:
+        if not fstate.has_packets_to_send():
+            return False
+        if self._flow_is_paused(fstate):
+            return False
+        if fstate.next_allowed_ns > now_ns:
+            return False
+        if fstate.retransmit_queue:
+            # Retransmissions do not grow the in-flight window.
+            return True
+        window = self.host.effective_window(fstate)
+        if window is not None and fstate.inflight_bytes() + self.host.config.mtu > window:
+            return False
+        return True
+
+    def _blocked_only_by_pacing(self, fstate: SenderFlowState, now_ns: int) -> bool:
+        if not fstate.has_packets_to_send() or self._flow_is_paused(fstate):
+            return False
+        if not fstate.retransmit_queue:
+            window = self.host.effective_window(fstate)
+            if window is not None and fstate.inflight_bytes() + self.host.config.mtu > window:
+                return False
+        return fstate.next_allowed_ns > now_ns
+
+    # -- DataDiscipline interface ---------------------------------------------------
+
+    def enqueue(self, packet: Packet, ingress: int) -> bool:  # pragma: no cover
+        raise RuntimeError("the NIC scheduler generates its own packets")
+
+    def dequeue(self) -> Optional[Packet]:
+        now = self.host.sim.now
+        flow_id = self._drr.select(
+            head_size=lambda fid: self._head_size(fid),
+            eligible=lambda fid: self._eligible(self._flows[fid], now),
+        )
+        if flow_id is None:
+            self._schedule_wakeup(now)
+            return None
+        fstate = self._flows[flow_id]
+        packet = self.host.build_data_packet(fstate)
+        return packet
+
+    def _head_size(self, flow_id: int) -> Optional[int]:
+        fstate = self._flows.get(flow_id)
+        if fstate is None or not fstate.has_packets_to_send():
+            return None
+        if fstate.retransmit_queue:
+            seq = fstate.retransmit_queue[0]
+        else:
+            seq = fstate.next_seq
+        return fstate.packet_payload(seq) + DATA_HEADER_SIZE
+
+    def backlog_bytes(self) -> int:
+        total = 0
+        for fstate in self._flows.values():
+            total += fstate.remaining_packets() * (self.host.config.mtu + DATA_HEADER_SIZE)
+        return total
+
+    def backlog_packets(self) -> int:
+        return sum(f.remaining_packets() for f in self._flows.values())
+
+    # -- pacing wake-ups ------------------------------------------------------------
+
+    def _schedule_wakeup(self, now_ns: int) -> None:
+        """If flows are blocked purely on pacing, wake the port at the earliest timer."""
+        earliest: Optional[int] = None
+        for fstate in self._flows.values():
+            if self._blocked_only_by_pacing(fstate, now_ns):
+                if earliest is None or fstate.next_allowed_ns < earliest:
+                    earliest = fstate.next_allowed_ns
+        if earliest is None:
+            return
+        if self._wakeup_event is not None and not self._wakeup_event.cancelled:
+            if self._wakeup_event.time <= earliest:
+                return
+            self._wakeup_event.cancel()
+        self._wakeup_event = self.host.sim.schedule_at(earliest, self.host.kick)
+
+
+class Host(Node):
+    """A server with one network interface and an RDMA-style NIC."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        host_id: int,
+        config: Optional[HostConfig] = None,
+        cc_factory: Optional[Callable[[float], CongestionControl]] = None,
+        flow_registry: Optional[Dict[int, Flow]] = None,
+        nic_class: Optional[type] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.host_id = host_id
+        self.config = config or HostConfig()
+        self._cc_factory = cc_factory
+        self.cc: Optional[CongestionControl] = None
+        self.flow_registry = flow_registry if flow_registry is not None else {}
+        self.nic: NicScheduler = (nic_class or NicScheduler)(self)
+        self.receivers: Dict[int, ReceiverFlowState] = {}
+        self.counters = Counters()
+        self.on_flow_complete: Optional[Callable[[Flow, int], None]] = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def add_interface(self, rate_bps: float, delay_ns: int, link_class: str = "link"):
+        iface = super().add_interface(rate_bps, delay_ns, link_class)
+        iface.tx.discipline = self.nic
+        if self.cc is None:
+            factory = self._cc_factory or (lambda rate: CongestionControl(rate))
+            self.cc = factory(rate_bps)
+        return iface
+
+    @property
+    def uplink(self):
+        """The host's single interface toward its ToR."""
+        return self.interfaces[0]
+
+    def kick(self) -> None:
+        """Ask the egress port to re-evaluate whether it can transmit."""
+        if self.interfaces:
+            self.uplink.tx.notify()
+
+    def effective_window(self, fstate: SenderFlowState) -> Optional[int]:
+        """The binding window for a flow (CC window and static cap combined)."""
+        caps = []
+        if self.config.window_cap_bytes is not None:
+            caps.append(self.config.window_cap_bytes)
+        cc_window = self.cc.window_bytes(fstate) if self.cc else None
+        if cc_window is not None:
+            caps.append(cc_window)
+        if not caps:
+            return None
+        return min(caps)
+
+    # -- sending ------------------------------------------------------------------
+
+    def start_flow(self, flow: Flow) -> SenderFlowState:
+        """Register a flow for transmission (called at the flow's start time)."""
+        if flow.src != self.host_id:
+            raise ValueError(
+                f"flow {flow.flow_id} has src {flow.src}, host is {self.host_id}"
+            )
+        self.flow_registry[flow.flow_id] = flow
+        fstate = SenderFlowState(flow, self.config.mtu)
+        fstate.last_progress_ns = self.sim.now
+        self.nic.add_flow(fstate)
+        if self.cc:
+            self.cc.on_flow_start(fstate, self.sim.now)
+        flow.first_tx_ns = None
+        self._arm_rto(fstate)
+        self.counters.incr("flows_started")
+        self.kick()
+        return fstate
+
+    def build_data_packet(self, fstate: SenderFlowState) -> Packet:
+        """Construct the next data packet of a flow and advance sender state.
+
+        With selective-repeat loss recovery, queued retransmissions take
+        precedence over new data and do not advance the send pointer.
+        """
+        flow = fstate.flow
+        retransmission = bool(fstate.retransmit_queue)
+        if retransmission:
+            seq = fstate.retransmit_queue.popleft()
+        else:
+            seq = fstate.next_seq
+        payload = fstate.packet_payload(seq)
+        packet = Packet(
+            kind=PacketKind.DATA,
+            flow_id=flow.flow_id,
+            key=flow.key(),
+            size=payload + DATA_HEADER_SIZE,
+            seq=seq,
+            flow_size=flow.size,
+            created_ns=self.sim.now,
+            int_enabled=self.config.int_enabled,
+            first_of_flow=(seq == 0 and self.config.mark_first_packet),
+            last_of_flow=(seq == fstate.num_packets - 1),
+        )
+        if retransmission:
+            flow.retransmitted_packets += 1
+            self.counters.incr("selective_retransmissions")
+        else:
+            fstate.next_seq = seq + 1
+        if flow.first_tx_ns is None:
+            flow.first_tx_ns = self.sim.now
+        rate = self.cc.rate_bps(fstate) if self.cc else self.uplink.rate_bps
+        rate = max(1.0, min(rate, self.uplink.rate_bps))
+        pace_ns = units.transmission_time_ns(packet.size, rate)
+        fstate.next_allowed_ns = max(fstate.next_allowed_ns, self.sim.now) + pace_ns
+        if self.cc:
+            self.cc.on_packet_sent(fstate, packet, self.sim.now)
+        self.counters.incr("data_packets_sent")
+        return packet
+
+    # -- receive path ----------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, iface_index: int) -> None:
+        if packet.kind is PacketKind.DATA:
+            self._handle_data(packet)
+        elif packet.kind is PacketKind.ACK:
+            self._handle_ack(packet)
+        elif packet.kind is PacketKind.NACK:
+            self._handle_nack(packet)
+        elif packet.kind is PacketKind.CNP:
+            self._handle_cnp(packet)
+        elif packet.kind is PacketKind.BLOOM:
+            self._handle_bloom(packet, iface_index)
+        else:  # pragma: no cover - PFC handled by Node
+            self.counters.incr("unexpected_packets")
+
+    def _handle_bloom(self, packet: Packet, iface_index: int) -> None:
+        handler = getattr(self.nic, "on_bloom", None)
+        if handler is not None:
+            handler(packet)
+            self.kick()
+        else:
+            self.counters.incr("bloom_ignored")
+
+    # .. receiver side ...........................................................
+
+    def _handle_data(self, packet: Packet) -> None:
+        self.counters.incr("data_packets_received")
+        rstate = self.receivers.get(packet.flow_id)
+        if rstate is None:
+            rstate = ReceiverFlowState(
+                packet.flow_id, packet.flow_size, self.config.mtu, packet.key.src
+            )
+            self.receivers[packet.flow_id] = rstate
+        if packet.ecn_marked:
+            self._maybe_send_cnp(packet, rstate)
+        selective = self.config.loss_recovery == "selective-repeat"
+        if packet.seq == rstate.expected_seq:
+            rstate.expected_seq += 1
+            rstate.bytes_received += packet.payload_bytes()
+            rstate.last_nack_seq = -1
+            if selective:
+                # Drain any buffered out-of-order packets that are now in order.
+                while rstate.expected_seq in rstate.out_of_order:
+                    rstate.bytes_received += rstate.out_of_order.pop(rstate.expected_seq)
+                    rstate.expected_seq += 1
+            if rstate.expected_seq >= rstate.num_packets and not rstate.completed:
+                rstate.completed = True
+                self._record_completion(packet, rstate)
+            self._maybe_send_ack(packet, rstate)
+        elif packet.seq > rstate.expected_seq:
+            self.counters.incr("out_of_order_packets")
+            if selective and packet.seq not in rstate.out_of_order:
+                rstate.out_of_order[packet.seq] = packet.payload_bytes()
+            self._send_nack(packet, rstate)
+        else:
+            self.counters.incr("duplicate_packets")
+            self._send_ack(packet, rstate)
+
+    def _record_completion(self, packet: Packet, rstate: ReceiverFlowState) -> None:
+        flow = self.flow_registry.get(packet.flow_id)
+        now = self.sim.now
+        if flow is not None:
+            flow.finish_ns = now
+            flow.bytes_delivered = rstate.bytes_received
+            if self.on_flow_complete:
+                self.on_flow_complete(flow, now)
+        self.counters.incr("flows_completed")
+
+    def _maybe_send_ack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
+        is_last = rstate.expected_seq >= rstate.num_packets
+        if is_last or rstate.expected_seq % max(1, self.config.ack_every) == 0:
+            self._send_ack(packet, rstate)
+
+    def _send_ack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
+        ack = Packet(
+            kind=PacketKind.ACK,
+            flow_id=packet.flow_id,
+            key=packet.key.reversed(),
+            size=ACK_SIZE,
+            ack_seq=rstate.expected_seq,
+            created_ns=self.sim.now,
+            ecn_echo=packet.ecn_marked,
+        )
+        if packet.int_enabled:
+            ack.int_enabled = False
+            ack.int_stack = list(packet.int_stack)
+        self.uplink.tx.send_control(ack)
+        self.counters.incr("acks_sent")
+
+    def _send_nack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
+        if rstate.last_nack_seq == rstate.expected_seq:
+            return  # already asked for this packet; avoid a NACK storm
+        rstate.last_nack_seq = rstate.expected_seq
+        nack = Packet(
+            kind=PacketKind.NACK,
+            flow_id=packet.flow_id,
+            key=packet.key.reversed(),
+            size=NACK_SIZE,
+            ack_seq=rstate.expected_seq,
+            created_ns=self.sim.now,
+        )
+        self.uplink.tx.send_control(nack)
+        self.counters.incr("nacks_sent")
+
+    def _maybe_send_cnp(self, packet: Packet, rstate: ReceiverFlowState) -> None:
+        now = self.sim.now
+        if now - rstate.last_cnp_ns < self.config.cnp_interval_ns:
+            return
+        rstate.last_cnp_ns = now
+        cnp = Packet(
+            kind=PacketKind.CNP,
+            flow_id=packet.flow_id,
+            key=packet.key.reversed(),
+            size=CNP_SIZE,
+            created_ns=now,
+        )
+        self.uplink.tx.send_control(cnp)
+        self.counters.incr("cnps_sent")
+
+    # .. sender side ...............................................................
+
+    def _handle_ack(self, packet: Packet) -> None:
+        fstate = self.nic.flow_state(packet.flow_id)
+        if fstate is None:
+            return
+        if packet.ack_seq > fstate.una:
+            fstate.una = packet.ack_seq
+            fstate.last_progress_ns = self.sim.now
+            if fstate.retransmit_queue:
+                # Drop queued retransmissions the cumulative ACK already covers.
+                fstate.retransmit_queue = deque(
+                    seq for seq in fstate.retransmit_queue if seq >= fstate.una
+                )
+        if self.cc:
+            self.cc.on_ack(fstate, packet, self.sim.now)
+        if fstate.fully_acked() and not fstate.completed:
+            fstate.completed = True
+            self._finish_sender(fstate)
+        self.kick()
+
+    def _handle_nack(self, packet: Packet) -> None:
+        fstate = self.nic.flow_state(packet.flow_id)
+        if fstate is None:
+            return
+        if packet.ack_seq > fstate.una:
+            fstate.una = packet.ack_seq
+        if self.config.loss_recovery == "selective-repeat":
+            # Retransmit only the packet the receiver is missing.
+            missing = packet.ack_seq
+            if (
+                missing < fstate.num_packets
+                and missing >= fstate.una
+                and missing not in fstate.retransmit_queue
+            ):
+                fstate.retransmit_queue.append(missing)
+        elif fstate.next_seq > fstate.una:
+            fstate.flow.retransmitted_packets += fstate.next_seq - fstate.una
+            self.counters.incr("go_back_n_rewinds")
+            fstate.next_seq = fstate.una
+        fstate.last_progress_ns = self.sim.now
+        if self.cc:
+            self.cc.on_nack(fstate, packet, self.sim.now)
+        self.kick()
+
+    def _handle_cnp(self, packet: Packet) -> None:
+        fstate = self.nic.flow_state(packet.flow_id)
+        if fstate is None:
+            return
+        if self.cc:
+            self.cc.on_cnp(fstate, self.sim.now)
+        self.counters.incr("cnps_received")
+
+    def _finish_sender(self, fstate: SenderFlowState) -> None:
+        if fstate.rto_event is not None:
+            fstate.rto_event.cancel()
+            fstate.rto_event = None
+        self.nic.remove_flow(fstate.flow.flow_id)
+
+    # -- retransmission timeout ------------------------------------------------------
+
+    def _arm_rto(self, fstate: SenderFlowState) -> None:
+        if self.config.rto_ns <= 0:
+            return
+        fstate.rto_event = self.sim.schedule(
+            self.config.rto_ns, self._rto_expired, fstate
+        )
+
+    def _rto_expired(self, fstate: SenderFlowState) -> None:
+        fstate.rto_event = None
+        if fstate.completed:
+            return
+        idle_ns = self.sim.now - fstate.last_progress_ns
+        if idle_ns >= self.config.rto_ns and fstate.inflight_packets() > 0:
+            # The tail of the flow was lost and no later packet will trigger a
+            # NACK: recover via rewind (Go-Back-N) or a targeted retransmit.
+            if self.config.loss_recovery == "selective-repeat":
+                if fstate.una not in fstate.retransmit_queue:
+                    fstate.retransmit_queue.append(fstate.una)
+            else:
+                fstate.flow.retransmitted_packets += fstate.next_seq - fstate.una
+                fstate.next_seq = fstate.una
+            fstate.last_progress_ns = self.sim.now
+            self.counters.incr("rto_rewinds")
+            self.kick()
+        self._arm_rto(fstate)

@@ -1,0 +1,156 @@
+"""Packet and flow-key types shared by every layer of the simulator."""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class PacketKind(enum.Enum):
+    """The role a packet plays.
+
+    ``DATA`` packets are subject to buffering, congestion control, ECN
+    marking, PFC and BFC pausing.  All other kinds are *control* packets:
+    they travel on a strict-priority, unpausable, undroppable class (but they
+    still consume link serialization time).
+    """
+
+    DATA = "data"
+    ACK = "ack"
+    NACK = "nack"
+    CNP = "cnp"           # DCQCN congestion notification packet
+    PFC = "pfc"           # priority flow control pause/resume frame
+    BLOOM = "bloom"       # BFC Bloom-filter pause frame
+
+
+# Control frame sizes (bytes).  These follow typical Ethernet frame sizes:
+# 64-byte minimum frames for ACK/NACK/CNP/PFC, and the configured Bloom
+# filter size (plus a small header) for BFC pause frames.
+ACK_SIZE = 64
+NACK_SIZE = 64
+CNP_SIZE = 64
+PFC_FRAME_SIZE = 64
+DATA_HEADER_SIZE = 48
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The classic 5-tuple identifying a flow.
+
+    In this simulator the source/destination are host identifiers rather than
+    IP addresses; ports distinguish concurrent flows between the same pair of
+    hosts.
+    """
+
+    src: int
+    dst: int
+    src_port: int
+    dst_port: int
+    protocol: int = 17
+
+    def vfid(self, space: int) -> int:
+        """Hash this key into a virtual flow ID in ``[0, space)``.
+
+        Every switch in the network uses the same function (as required by
+        BFC so that pauses communicated upstream refer to the same VFID).
+        The hash is CRC32 over the packed tuple, which is both deterministic
+        across processes and cheap.
+        """
+        data = f"{self.src}|{self.dst}|{self.src_port}|{self.dst_port}|{self.protocol}"
+        return zlib.crc32(data.encode("ascii")) % space
+
+    def reversed(self) -> "FlowKey":
+        """The key of the reverse direction (used for ACK routing)."""
+        return FlowKey(
+            src=self.dst,
+            dst=self.src,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+
+@dataclass
+class IntHop:
+    """One hop's worth of in-band network telemetry (HPCC).
+
+    Attributes mirror the INT fields HPCC relies on: the egress timestamp,
+    the cumulative bytes transmitted by the egress port, the instantaneous
+    queue length, and the port speed.
+    """
+
+    node: str
+    timestamp_ns: int
+    tx_bytes: int
+    queue_bytes: int
+    rate_bps: float
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    ``size`` is the wire size in bytes (payload + header for DATA packets).
+    ``seq`` is the packet index within its flow (0-based), used by the
+    Go-Back-N receiver.  ``ack_seq`` is the cumulative acknowledgement carried
+    by ACK/NACK packets (the next expected packet index).
+    """
+
+    kind: PacketKind
+    flow_id: int
+    key: FlowKey
+    size: int
+    seq: int = 0
+    ack_seq: int = 0
+    flow_size: int = 0
+    created_ns: int = 0
+    # Congestion signalling -------------------------------------------------
+    ecn_capable: bool = True
+    ecn_marked: bool = False
+    ecn_echo: bool = False
+    int_enabled: bool = False
+    int_stack: List[IntHop] = field(default_factory=list)
+    # BFC --------------------------------------------------------------------
+    first_of_flow: bool = False
+    last_of_flow: bool = False
+    # PFC / BLOOM payloads ----------------------------------------------------
+    pause: bool = False
+    pause_class: int = 0
+    bloom_bits: Optional[bytes] = None
+    # Path bookkeeping --------------------------------------------------------
+    hops: int = 0
+    # Transient per-switch state: the ingress interface index the packet used
+    # to enter the switch currently buffering it (ns-3 tags play this role).
+    cur_ingress: int = -1
+    # Cached virtual-flow ID (valid only when vfid_space matches the asker's
+    # VFID space; see repro.core.vfid.packet_vfid).
+    vfid: int = -1
+    vfid_space: int = 0
+
+    def is_control(self) -> bool:
+        """True for every kind except DATA."""
+        return self.kind is not PacketKind.DATA
+
+    def payload_bytes(self) -> int:
+        """Payload carried by a DATA packet (0 for control packets)."""
+        if self.kind is not PacketKind.DATA:
+            return 0
+        return max(0, self.size - DATA_HEADER_SIZE)
+
+    def clone_for_retransmit(self) -> "Packet":
+        """A fresh copy used by Go-Back-N retransmission."""
+        return Packet(
+            kind=self.kind,
+            flow_id=self.flow_id,
+            key=self.key,
+            size=self.size,
+            seq=self.seq,
+            flow_size=self.flow_size,
+            created_ns=self.created_ns,
+            ecn_capable=self.ecn_capable,
+            int_enabled=self.int_enabled,
+            first_of_flow=self.first_of_flow,
+            last_of_flow=self.last_of_flow,
+        )

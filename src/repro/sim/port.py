@@ -1,0 +1,210 @@
+"""Network interfaces, egress ports and link wiring.
+
+A *link* in this simulator is a pair of unidirectional channels.  Each end of
+a link is an :class:`Interface` owned by a node; the interface's
+:class:`EgressPort` serializes packets onto the outgoing channel (at the link
+rate) and delivers them to the peer node after the propagation delay.
+
+Every egress port has two classes of traffic:
+
+* a strict-priority **control queue** (ACK/NACK/CNP/PFC/Bloom frames) that is
+  never paused and never dropped, and
+* a pluggable **data discipline** (FIFO, SFQ, Ideal-FQ, BFC, or a host NIC
+  scheduler) that can be paused as a whole by PFC.
+
+This mirrors how RoCE deployments carry congestion-notification and pause
+traffic on a separate priority class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+from . import units
+from .packet import Packet
+from .stats import ByteMeter, PauseMeter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .node import Node
+
+
+class DataDiscipline(Protocol):
+    """The interface every data queueing discipline implements."""
+
+    def enqueue(self, packet: Packet, ingress: int) -> bool:
+        """Queue a packet; return False if the discipline rejected it."""
+
+    def dequeue(self) -> Optional[Packet]:
+        """Return the next packet to transmit, or None if nothing is eligible."""
+
+    def backlog_bytes(self) -> int:
+        """Total bytes currently queued."""
+
+    def backlog_packets(self) -> int:
+        """Total packets currently queued."""
+
+
+class EgressPort:
+    """Serializes packets from one node onto one outgoing channel."""
+
+    def __init__(
+        self,
+        sim,
+        owner: "Node",
+        iface_index: int,
+        rate_bps: float,
+        delay_ns: int,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.owner = owner
+        self.iface_index = iface_index
+        self.rate_bps = rate_bps
+        self.delay_ns = int(delay_ns)
+        self.name = name or f"{owner.name}.if{iface_index}"
+        # Peer wiring (set by connect()).
+        self.peer_node: Optional["Node"] = None
+        self.peer_iface: int = -1
+        # Queues.
+        self.control_queue: deque[Packet] = deque()
+        self.discipline: Optional[DataDiscipline] = None
+        # State.
+        self.busy = False
+        self.pfc_meter = PauseMeter()
+        self.bytes = ByteMeter()
+        self.tx_data_bytes_total = 0  # cumulative, used for HPCC INT
+        # Hooks the owning node may install.
+        self.on_data_dequeue: Optional[Callable[[Packet], None]] = None
+        self.on_data_transmitted: Optional[Callable[[Packet], None]] = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def connect(self, peer_node: "Node", peer_iface: int) -> None:
+        self.peer_node = peer_node
+        self.peer_iface = peer_iface
+
+    @property
+    def connected(self) -> bool:
+        return self.peer_node is not None
+
+    # -- PFC -------------------------------------------------------------------
+
+    @property
+    def pfc_paused(self) -> bool:
+        return self.pfc_meter.paused
+
+    def set_pfc_paused(self, paused: bool) -> None:
+        """Pause/resume the data class of this port (control still flows)."""
+        self.pfc_meter.set_paused(paused, self.sim.now)
+        if not paused:
+            self.kick()
+
+    # -- transmit path ----------------------------------------------------------
+
+    def send_control(self, packet: Packet) -> None:
+        """Queue a control packet for transmission at strict priority."""
+        if not packet.is_control():
+            raise ValueError("send_control() is only for control packets")
+        self.control_queue.append(packet)
+        self.kick()
+
+    def notify(self) -> None:
+        """Tell the port that the data discipline may have become non-empty."""
+        self.kick()
+
+    def kick(self) -> None:
+        """Start transmitting the next eligible packet if the line is idle."""
+        if self.busy or not self.connected:
+            return
+        packet = self._next_packet()
+        if packet is None:
+            return
+        self.busy = True
+        tx_ns = units.transmission_time_ns(packet.size, self.rate_bps)
+        self.sim.schedule(tx_ns, self._transmission_done, packet)
+
+    def _next_packet(self) -> Optional[Packet]:
+        if self.control_queue:
+            return self.control_queue.popleft()
+        if self.pfc_paused or self.discipline is None:
+            return None
+        packet = self.discipline.dequeue()
+        if packet is not None and self.on_data_dequeue is not None:
+            self.on_data_dequeue(packet)
+        return packet
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self.busy = False
+        is_control = packet.is_control()
+        self.bytes.record(packet.size, is_control)
+        if not is_control:
+            self.tx_data_bytes_total += packet.size
+            if self.on_data_transmitted is not None:
+                self.on_data_transmitted(packet)
+        peer_node, peer_iface = self.peer_node, self.peer_iface
+        self.sim.schedule(self.delay_ns, peer_node.receive, packet, peer_iface)
+        self.kick()
+
+    # -- introspection ------------------------------------------------------------
+
+    def data_backlog_bytes(self) -> int:
+        return self.discipline.backlog_bytes() if self.discipline else 0
+
+    def utilization(self, duration_ns: int, include_control: bool = False) -> float:
+        return self.bytes.utilization(self.rate_bps, duration_ns, include_control)
+
+
+class Interface:
+    """One attachment point of a node to a link."""
+
+    def __init__(
+        self,
+        sim,
+        owner: "Node",
+        index: int,
+        rate_bps: float,
+        delay_ns: int,
+        link_class: str = "link",
+    ) -> None:
+        self.index = index
+        self.owner = owner
+        self.link_class = link_class
+        self.tx = EgressPort(sim, owner, index, rate_bps, delay_ns)
+
+    @property
+    def peer_node(self) -> Optional["Node"]:
+        return self.tx.peer_node
+
+    @property
+    def rate_bps(self) -> float:
+        return self.tx.rate_bps
+
+    @property
+    def delay_ns(self) -> int:
+        return self.tx.delay_ns
+
+
+def connect(
+    node_a: "Node",
+    node_b: "Node",
+    rate_bps: float,
+    delay_ns: int,
+    link_class_ab: str = "link",
+    link_class_ba: str = "link",
+) -> tuple[Interface, Interface]:
+    """Create a full-duplex link between two nodes.
+
+    Returns the pair of interfaces (on ``node_a`` and ``node_b``).  Both
+    directions share the same rate and propagation delay, which matches every
+    topology in the paper.
+    """
+    iface_a = node_a.add_interface(rate_bps, delay_ns, link_class_ab)
+    iface_b = node_b.add_interface(rate_bps, delay_ns, link_class_ba)
+    iface_a.tx.connect(node_b, iface_b.index)
+    iface_b.tx.connect(node_a, iface_a.index)
+    return iface_a, iface_b

@@ -1,0 +1,247 @@
+"""Metric collectors.
+
+Each collector is a small, independent object owned by the component whose
+behaviour it measures (a port, a switch, the experiment runner).  The
+experiment harness harvests them at the end of a run and feeds the analysis
+layer (:mod:`repro.analysis`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from . import units
+
+
+# ---------------------------------------------------------------------------
+# Generic counters
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Counters:
+    """A plain bag of named integer counters."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.values)
+
+
+# ---------------------------------------------------------------------------
+# Link utilization
+# ---------------------------------------------------------------------------
+
+
+class ByteMeter:
+    """Counts bytes transmitted by a port, split into data and control bytes."""
+
+    def __init__(self) -> None:
+        self.data_bytes = 0
+        self.control_bytes = 0
+        self.data_packets = 0
+        self.control_packets = 0
+
+    def record(self, size: int, is_control: bool) -> None:
+        if is_control:
+            self.control_bytes += size
+            self.control_packets += 1
+        else:
+            self.data_bytes += size
+            self.data_packets += 1
+
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.control_bytes
+
+    def utilization(self, rate_bps: float, duration_ns: int, include_control: bool = False) -> float:
+        """Fraction of the link capacity used over ``duration_ns``."""
+        if duration_ns <= 0:
+            return 0.0
+        sent = self.total_bytes() if include_control else self.data_bytes
+        capacity_bytes = rate_bps * duration_ns / (8 * units.SECOND)
+        if capacity_bytes <= 0:
+            return 0.0
+        return min(1.0, sent / capacity_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Pause time accounting (PFC and BFC queue pauses)
+# ---------------------------------------------------------------------------
+
+
+class PauseMeter:
+    """Tracks the fraction of time a port (or queue) spends paused.
+
+    The meter integrates paused time lazily: callers toggle the state with
+    :meth:`set_paused` and read the accumulated paused nanoseconds with
+    :meth:`paused_time`.
+    """
+
+    def __init__(self) -> None:
+        self._paused = False
+        self._paused_since: Optional[int] = None
+        self._accumulated = 0
+        self.pause_events = 0
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def set_paused(self, paused: bool, now_ns: int) -> None:
+        if paused == self._paused:
+            return
+        if paused:
+            self._paused = True
+            self._paused_since = now_ns
+            self.pause_events += 1
+        else:
+            self._paused = False
+            if self._paused_since is not None:
+                self._accumulated += now_ns - self._paused_since
+            self._paused_since = None
+
+    def paused_time(self, now_ns: int) -> int:
+        total = self._accumulated
+        if self._paused and self._paused_since is not None:
+            total += now_ns - self._paused_since
+        return total
+
+    def paused_fraction(self, now_ns: int, start_ns: int = 0) -> float:
+        window = now_ns - start_ns
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.paused_time(now_ns) / window)
+
+
+# ---------------------------------------------------------------------------
+# Buffer occupancy sampling
+# ---------------------------------------------------------------------------
+
+
+class BufferSampler:
+    """Periodically samples switch buffer occupancy.
+
+    The experiment runner registers the switches to watch and schedules the
+    sampling callback; samples are raw byte counts so the analysis layer can
+    compute CDFs and percentiles (paper Figs. 2, 6a, 8b).
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[int] = []
+        self.per_switch: Dict[str, List[int]] = {}
+
+    def record(self, switch_name: str, occupancy_bytes: int) -> None:
+        self.samples.append(occupancy_bytes)
+        self.per_switch.setdefault(switch_name, []).append(occupancy_bytes)
+
+    def max_occupancy(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        idx = min(len(data) - 1, int(q / 100.0 * len(data)))
+        return float(data[idx])
+
+
+# ---------------------------------------------------------------------------
+# Queue length sampling (per physical queue, for Fig. 10/11)
+# ---------------------------------------------------------------------------
+
+
+class QueueSampler:
+    """Samples per-physical-queue byte counts and occupied-queue counts."""
+
+    def __init__(self) -> None:
+        self.queue_bytes: List[int] = []
+        self.occupied_queues: List[int] = []
+
+    def record_queue(self, backlog_bytes: int) -> None:
+        self.queue_bytes.append(backlog_bytes)
+
+    def record_occupied(self, count: int) -> None:
+        self.occupied_queues.append(count)
+
+    def queue_percentile(self, q: float) -> float:
+        if not self.queue_bytes:
+            return 0.0
+        data = sorted(self.queue_bytes)
+        idx = min(len(data) - 1, int(q / 100.0 * len(data)))
+        return float(data[idx])
+
+
+# ---------------------------------------------------------------------------
+# Flow completion records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlowRecord:
+    """Everything the analysis layer needs to know about one finished flow."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size: int
+    start_ns: int
+    finish_ns: Optional[int]
+    slowdown: Optional[float]
+    is_incast: bool
+    tag: str
+    retransmissions: int = 0
+
+
+class FlowStats:
+    """Collects :class:`FlowRecord` entries for a whole experiment."""
+
+    def __init__(self) -> None:
+        self.records: List[FlowRecord] = []
+
+    def add(self, record: FlowRecord) -> None:
+        self.records.append(record)
+
+    def completed(self, include_incast: bool = False) -> List[FlowRecord]:
+        return [
+            r
+            for r in self.records
+            if r.finish_ns is not None and (include_incast or not r.is_incast)
+        ]
+
+    def completion_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        done = sum(1 for r in self.records if r.finish_ns is not None)
+        return done / len(self.records)
+
+    def slowdowns(self, include_incast: bool = False) -> List[float]:
+        return [
+            r.slowdown
+            for r in self.completed(include_incast)
+            if r.slowdown is not None
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a sequence of floats."""
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if q <= 0:
+        return float(data[0])
+    if q >= 100:
+        return float(data[-1])
+    idx = min(len(data) - 1, max(0, int(round(q / 100.0 * len(data) + 0.5)) - 1))
+    return float(data[idx])

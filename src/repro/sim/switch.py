@@ -1,0 +1,211 @@
+"""Base store-and-forward switch.
+
+The switch implements everything common to all evaluated schemes:
+
+* destination-based routing with ECMP across equal-cost uplinks,
+* a shared packet buffer with per-ingress accounting,
+* PFC pause/resume generation toward upstream neighbours,
+* RED-style ECN marking at the egress queue (used by DCQCN),
+* in-band network telemetry stamping (used by HPCC),
+* a pluggable per-egress-port data discipline (FIFO, SFQ, Ideal-FQ, BFC).
+
+Scheme-specific behaviour is provided either by the discipline factory
+(baselines) or by the :class:`repro.core.switchlogic.BfcSwitch` subclass.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .buffer import PfcPolicy, SharedBuffer
+from .node import Node
+from .packet import FlowKey, IntHop, Packet, PacketKind, PFC_FRAME_SIZE
+from .port import Interface
+from .stats import Counters
+
+# PFC frames are link-local; they carry a dummy key.
+_PFC_KEY = FlowKey(src=-1, dst=-1, src_port=0, dst_port=0)
+
+
+@dataclass
+class EcnConfig:
+    """RED-style ECN marking thresholds (bytes) for the egress queue."""
+
+    enabled: bool = False
+    kmin: int = 100_000
+    kmax: int = 400_000
+    pmax: float = 0.2
+
+    def marking_probability(self, backlog: int) -> float:
+        if not self.enabled or backlog <= self.kmin:
+            return 0.0
+        if backlog >= self.kmax:
+            return 1.0
+        span = max(1, self.kmax - self.kmin)
+        return self.pmax * (backlog - self.kmin) / span
+
+
+class Switch(Node):
+    """A shared-buffer output-queued switch."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        buffer_bytes: int,
+        discipline_factory: Callable[[Interface], object],
+        pfc: Optional[PfcPolicy] = None,
+        ecn: Optional[EcnConfig] = None,
+        int_enabled: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(sim, name)
+        self.buffer = (
+            SharedBuffer(buffer_bytes) if buffer_bytes > 0 else SharedBuffer.infinite()
+        )
+        self.discipline_factory = discipline_factory
+        self.pfc = pfc or PfcPolicy()
+        self.ecn = ecn or EcnConfig()
+        self.int_enabled = int_enabled
+        self.counters = Counters()
+        self.routes: Dict[int, List[int]] = {}
+        self._pfc_sent: Dict[int, bool] = {}
+        # CRC32 of the name keeps hashing deterministic across processes
+        # (Python's str hash is randomised per interpreter run).
+        self._name_salt = zlib.crc32(name.encode("utf-8"))
+        self._rng = sim.rng(seed ^ (self._name_salt & 0xFFFF))
+
+    # -- wiring -----------------------------------------------------------------
+
+    def add_interface(self, rate_bps: float, delay_ns: int, link_class: str = "link") -> Interface:
+        iface = super().add_interface(rate_bps, delay_ns, link_class)
+        iface.tx.discipline = self.discipline_factory(iface)
+        iface.tx.on_data_dequeue = lambda pkt, idx=iface.index: self._on_data_dequeue(pkt, idx)
+        return iface
+
+    def set_routes(self, routes: Dict[int, List[int]]) -> None:
+        """Install the destination-host → egress-interface-list routing table."""
+        self.routes = dict(routes)
+
+    def add_route(self, dst_host: int, iface_indices: List[int]) -> None:
+        self.routes[dst_host] = list(iface_indices)
+
+    # -- routing ---------------------------------------------------------------
+
+    def egress_for(self, packet: Packet) -> int:
+        """Pick the egress interface for a packet (ECMP by flow-key hash)."""
+        dst = packet.key.dst
+        choices = self.routes.get(dst)
+        if not choices:
+            raise KeyError(f"{self.name}: no route to host {dst}")
+        if len(choices) == 1:
+            return choices[0]
+        index = (hash((packet.key, self._name_salt)) & 0x7FFFFFFF) % len(choices)
+        return choices[index]
+
+    # -- receive path ---------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, iface_index: int) -> None:
+        if packet.kind is PacketKind.BLOOM:
+            self.handle_bloom(packet, iface_index)
+            return
+        out_index = self.egress_for(packet)
+        out_iface = self.interfaces[out_index]
+        if packet.is_control():
+            out_iface.tx.send_control(packet)
+            return
+        self._admit_data(packet, iface_index, out_iface)
+
+    def handle_bloom(self, packet: Packet, iface_index: int) -> None:
+        """Bloom-filter pause frames are only meaningful to BFC switches."""
+        self.counters.incr("bloom_ignored")
+
+    # -- data path ---------------------------------------------------------------
+
+    def _admit_data(self, packet: Packet, in_index: int, out_iface: Interface) -> None:
+        if not self.buffer.admit(packet.size, in_index):
+            self.counters.incr("dropped_packets")
+            self.counters.incr("dropped_bytes", packet.size)
+            return
+        packet.cur_ingress = in_index
+        packet.hops += 1
+        self._maybe_mark_ecn(packet, out_iface)
+        accepted = out_iface.tx.discipline.enqueue(packet, in_index)
+        if not accepted:
+            # The discipline itself refused the packet (rare; e.g. a bounded
+            # per-queue policy).  Treat it exactly like a buffer drop.
+            self.buffer.release(packet.size, in_index)
+            self.counters.incr("dropped_packets")
+            self.counters.incr("dropped_bytes", packet.size)
+            return
+        self.counters.incr("forwarded_packets")
+        out_iface.tx.notify()
+        self._check_pfc_pause(in_index)
+
+    def _maybe_mark_ecn(self, packet: Packet, out_iface: Interface) -> None:
+        if not self.ecn.enabled or not packet.ecn_capable:
+            return
+        backlog = out_iface.tx.discipline.backlog_bytes()
+        prob = self.ecn.marking_probability(backlog)
+        if prob > 0 and self._rng.random() < prob:
+            packet.ecn_marked = True
+            self.counters.incr("ecn_marked")
+
+    def _on_data_dequeue(self, packet: Packet, iface_index: int) -> None:
+        ingress = getattr(packet, "cur_ingress", -1)
+        if ingress >= 0:
+            self.buffer.release(packet.size, ingress)
+            packet.cur_ingress = -1
+            self._check_pfc_resume(ingress)
+        if self.int_enabled and packet.int_enabled:
+            port = self.interfaces[iface_index].tx
+            packet.int_stack.append(
+                IntHop(
+                    node=self.name,
+                    timestamp_ns=self.sim.now,
+                    tx_bytes=port.tx_data_bytes_total,
+                    queue_bytes=port.discipline.backlog_bytes(),
+                    rate_bps=port.rate_bps,
+                )
+            )
+
+    # -- PFC generation ----------------------------------------------------------------
+
+    def _check_pfc_pause(self, ingress: int) -> None:
+        if not self.pfc.enabled or self._pfc_sent.get(ingress, False):
+            return
+        if self.pfc.should_pause(self.buffer, ingress):
+            self._pfc_sent[ingress] = True
+            self._send_pfc(ingress, pause=True)
+
+    def _check_pfc_resume(self, ingress: int) -> None:
+        if not self.pfc.enabled or not self._pfc_sent.get(ingress, False):
+            return
+        if self.pfc.should_resume(self.buffer, ingress):
+            self._pfc_sent[ingress] = False
+            self._send_pfc(ingress, pause=False)
+
+    def _send_pfc(self, ingress: int, pause: bool) -> None:
+        iface = self.interfaces[ingress]
+        if not iface.tx.connected:
+            return
+        frame = Packet(
+            kind=PacketKind.PFC,
+            flow_id=0,
+            key=_PFC_KEY,
+            size=PFC_FRAME_SIZE,
+            created_ns=self.sim.now,
+            pause=pause,
+        )
+        iface.tx.send_control(frame)
+        self.counters.incr("pfc_pause_frames" if pause else "pfc_resume_frames")
+
+    # -- introspection ------------------------------------------------------------------
+
+    def buffer_occupancy(self) -> int:
+        return self.buffer.occupancy()
+
+    def dropped_packets(self) -> int:
+        return self.counters.get("dropped_packets")

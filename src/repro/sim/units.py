@@ -1,0 +1,124 @@
+"""Unit helpers for the discrete-event simulator.
+
+The simulator uses a single convention everywhere:
+
+* **time** is measured in integer nanoseconds,
+* **data rates** are measured in bits per second,
+* **data sizes** are measured in bytes.
+
+This module provides small conversion helpers so that configuration code can
+be written in the units the paper uses (microseconds, Gbps, KB/MB) while the
+simulator core stays in its canonical units.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Time
+# --------------------------------------------------------------------------
+
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+
+def nanoseconds(value: float) -> int:
+    """Return *value* nanoseconds as an integer tick count."""
+    return int(round(value))
+
+
+def microseconds(value: float) -> int:
+    """Return *value* microseconds expressed in nanoseconds."""
+    return int(round(value * MICROSECOND))
+
+
+def milliseconds(value: float) -> int:
+    """Return *value* milliseconds expressed in nanoseconds."""
+    return int(round(value * MILLISECOND))
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds expressed in nanoseconds."""
+    return int(round(value * SECOND))
+
+
+def to_microseconds(time_ns: int) -> float:
+    """Convert a nanosecond timestamp to (float) microseconds."""
+    return time_ns / MICROSECOND
+
+
+def to_seconds(time_ns: int) -> float:
+    """Convert a nanosecond timestamp to (float) seconds."""
+    return time_ns / SECOND
+
+
+# --------------------------------------------------------------------------
+# Rates
+# --------------------------------------------------------------------------
+
+
+def gbps(value: float) -> float:
+    """Return *value* gigabits/second expressed in bits/second."""
+    return value * 1e9
+
+
+def mbps(value: float) -> float:
+    """Return *value* megabits/second expressed in bits/second."""
+    return value * 1e6
+
+
+def to_gbps(rate_bps: float) -> float:
+    """Convert a bits/second rate to gigabits/second."""
+    return rate_bps / 1e9
+
+
+# --------------------------------------------------------------------------
+# Sizes
+# --------------------------------------------------------------------------
+
+BYTE = 1
+KILOBYTE = 1_000
+MEGABYTE = 1_000_000
+GIGABYTE = 1_000_000_000
+
+
+def kilobytes(value: float) -> int:
+    """Return *value* kilobytes (decimal) expressed in bytes."""
+    return int(round(value * KILOBYTE))
+
+
+def megabytes(value: float) -> int:
+    """Return *value* megabytes (decimal) expressed in bytes."""
+    return int(round(value * MEGABYTE))
+
+
+def to_megabytes(size_bytes: float) -> float:
+    """Convert a byte count to (float) megabytes."""
+    return size_bytes / MEGABYTE
+
+
+# --------------------------------------------------------------------------
+# Derived quantities
+# --------------------------------------------------------------------------
+
+
+def transmission_time_ns(size_bytes: float, rate_bps: float) -> int:
+    """Serialization delay of *size_bytes* on a link of *rate_bps*.
+
+    Always at least one nanosecond so that zero-length control frames still
+    advance simulated time and preserve event ordering.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return max(1, int(round(size_bytes * 8 * SECOND / rate_bps)))
+
+
+def bytes_in_flight(rate_bps: float, time_ns: float) -> int:
+    """Number of bytes a link of *rate_bps* carries in *time_ns*."""
+    return int(rate_bps * time_ns / (8 * SECOND))
+
+
+def bandwidth_delay_product(rate_bps: float, rtt_ns: float) -> int:
+    """Bandwidth-delay product in bytes for a link and a round-trip time."""
+    return bytes_in_flight(rate_bps, rtt_ns)

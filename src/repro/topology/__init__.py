@@ -1,0 +1,19 @@
+"""Network topologies used in the paper's evaluation."""
+
+from .topology import Topology
+from .clos import ClosParams, build_leaf_spine, paper_t1_params, paper_t2_params, scaled_params
+from .crossdc import CrossDcParams, build_cross_dc
+from .validate import ValidationReport, validate_topology
+
+__all__ = [
+    "Topology",
+    "ClosParams",
+    "build_leaf_spine",
+    "paper_t1_params",
+    "paper_t2_params",
+    "scaled_params",
+    "CrossDcParams",
+    "build_cross_dc",
+    "ValidationReport",
+    "validate_topology",
+]

@@ -1,0 +1,218 @@
+"""Leaf-spine (2-tier Clos) topology builders.
+
+The paper evaluates two fat-tree instances:
+
+* **T1** — 128 servers, 8 ToRs (16 servers each), 8 spines, 2:1 oversubscription.
+* **T2** — 64 servers, 4 ToRs (16 servers each), 8 spines, 2:1 oversubscription.
+
+All links run at 100 Gbps with 1 us propagation delay, switch buffers are
+12 MB, and the maximum base RTT is 8 us.  Those parameters are expensive for a
+pure-Python packet simulator, so :func:`scaled_params` provides smaller
+defaults with the same shape; every experiment accepts explicit parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim import units
+from repro.sim.host import Host
+from repro.sim.port import connect
+from repro.sim.switch import Switch
+
+from .topology import LinkRecord, Topology
+
+SwitchFactory = Callable[[str, str], Switch]
+HostFactory = Callable[[str, int], Host]
+
+
+@dataclass
+class ClosParams:
+    """Shape and link parameters of a leaf-spine fabric."""
+
+    num_tors: int
+    hosts_per_tor: int
+    num_spines: int
+    link_rate_bps: float = units.gbps(100)
+    link_delay_ns: int = 1_000
+    name_prefix: str = ""
+
+    @property
+    def num_hosts(self) -> int:
+        return self.num_tors * self.hosts_per_tor
+
+    def oversubscription(self) -> float:
+        """Downlink capacity over uplink capacity at a ToR."""
+        return self.hosts_per_tor / self.num_spines
+
+    def base_rtt_ns(self) -> int:
+        """Worst-case (inter-rack) base round-trip time."""
+        return 8 * self.link_delay_ns
+
+    def bdp_bytes(self) -> int:
+        """End-to-end bandwidth-delay product at the host line rate."""
+        return units.bandwidth_delay_product(self.link_rate_bps, self.base_rtt_ns())
+
+
+def paper_t1_params(
+    link_rate_bps: float = units.gbps(100), link_delay_ns: int = 1_000
+) -> ClosParams:
+    """The paper's T1 topology: 128 servers, 8 ToRs, 8 spines."""
+    return ClosParams(
+        num_tors=8,
+        hosts_per_tor=16,
+        num_spines=8,
+        link_rate_bps=link_rate_bps,
+        link_delay_ns=link_delay_ns,
+    )
+
+
+def paper_t2_params(
+    link_rate_bps: float = units.gbps(100), link_delay_ns: int = 1_000
+) -> ClosParams:
+    """The paper's T2 topology: 64 servers, 4 ToRs, 8 spines."""
+    return ClosParams(
+        num_tors=4,
+        hosts_per_tor=16,
+        num_spines=8,
+        link_rate_bps=link_rate_bps,
+        link_delay_ns=link_delay_ns,
+    )
+
+
+def scaled_params(
+    num_tors: int = 2,
+    hosts_per_tor: int = 8,
+    num_spines: int = 4,
+    link_rate_bps: float = units.gbps(10),
+    link_delay_ns: int = 1_000,
+) -> ClosParams:
+    """A smaller fabric with the same 2:1 oversubscription, for fast runs."""
+    return ClosParams(
+        num_tors=num_tors,
+        hosts_per_tor=hosts_per_tor,
+        num_spines=num_spines,
+        link_rate_bps=link_rate_bps,
+        link_delay_ns=link_delay_ns,
+    )
+
+
+def build_leaf_spine(
+    sim,
+    params: ClosParams,
+    switch_factory: SwitchFactory,
+    host_factory: HostFactory,
+    topology: Optional[Topology] = None,
+    host_id_offset: int = 0,
+    dc: int = 0,
+) -> Topology:
+    """Build one leaf-spine fabric and install ECMP up-down routes.
+
+    Parameters
+    ----------
+    switch_factory:
+        Called as ``switch_factory(name, tier)`` with tier in {"tor", "spine"}.
+    host_factory:
+        Called as ``host_factory(name, host_id)``.
+    topology:
+        Pass an existing container to add this fabric to it (used by the
+        cross-data-center builder); by default a new one is created.
+    host_id_offset, dc:
+        Host-ID numbering offset and data-center index for multi-DC setups.
+    """
+    topo = topology or Topology(sim, params.link_rate_bps, params.link_delay_ns)
+    prefix = params.name_prefix
+
+    tors: List[Switch] = []
+    spines: List[Switch] = []
+    for t in range(params.num_tors):
+        tor = switch_factory(f"{prefix}tor{t}", "tor")
+        topo.add_switch(tor, "tor")
+        tors.append(tor)
+    for s in range(params.num_spines):
+        spine = switch_factory(f"{prefix}spine{s}", "spine")
+        topo.add_switch(spine, "spine")
+        spines.append(spine)
+
+    # Host <-> ToR links.
+    host_iface_on_tor: Dict[int, int] = {}
+    hosts_by_tor: Dict[str, List[int]] = {tor.name: [] for tor in tors}
+    host_id = host_id_offset
+    for t, tor in enumerate(tors):
+        for h in range(params.hosts_per_tor):
+            host = host_factory(f"{prefix}h{host_id}", host_id)
+            iface_host, iface_tor = connect(
+                host,
+                tor,
+                rate_bps=params.link_rate_bps,
+                delay_ns=params.link_delay_ns,
+                link_class_ab="host->tor",
+                link_class_ba="tor->host",
+            )
+            topo.add_host(host, tor.name, dc=dc)
+            topo.record_link(
+                LinkRecord(host.name, tor.name, params.link_rate_bps, params.link_delay_ns, "host-tor")
+            )
+            host_iface_on_tor[host_id] = iface_tor.index
+            hosts_by_tor[tor.name].append(host_id)
+            host_id += 1
+
+    # ToR <-> spine links.
+    tor_uplinks: Dict[str, List[int]] = {tor.name: [] for tor in tors}
+    spine_downlinks: Dict[str, Dict[str, int]] = {spine.name: {} for spine in spines}
+    for tor in tors:
+        for spine in spines:
+            iface_tor, iface_spine = connect(
+                tor,
+                spine,
+                rate_bps=params.link_rate_bps,
+                delay_ns=params.link_delay_ns,
+                link_class_ab="tor->spine",
+                link_class_ba="spine->tor",
+            )
+            topo.record_link(
+                LinkRecord(tor.name, spine.name, params.link_rate_bps, params.link_delay_ns, "tor-spine")
+            )
+            tor_uplinks[tor.name].append(iface_tor.index)
+            spine_downlinks[spine.name][tor.name] = iface_spine.index
+
+    # Routing: ToRs send local traffic straight down and everything else ECMP
+    # across all uplinks; spines send toward the destination's ToR.
+    all_host_ids = list(range(host_id_offset, host_id))
+    for tor in tors:
+        routes: Dict[int, List[int]] = {}
+        local = set(hosts_by_tor[tor.name])
+        for hid in all_host_ids:
+            if hid in local:
+                routes[hid] = [host_iface_on_tor[hid]]
+            else:
+                routes[hid] = list(tor_uplinks[tor.name])
+        tor.set_routes(routes)
+    for spine in spines:
+        routes = {}
+        for hid in all_host_ids:
+            tor_name = topo.tor_of_host[hid]
+            routes[hid] = [spine_downlinks[spine.name][tor_name]]
+        spine.set_routes(routes)
+
+    _install_delay_function(topo, params)
+    return topo
+
+
+def _install_delay_function(topo: Topology, params: ClosParams) -> None:
+    delay = params.link_delay_ns
+
+    def one_way(src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        if not topo.same_dc(src, dst):
+            raise ValueError(
+                "leaf-spine delay function asked about hosts in different DCs; "
+                "use the cross-DC builder for multi-DC topologies"
+            )
+        if topo.same_rack(src, dst):
+            return 2 * delay  # host -> ToR -> host
+        return 4 * delay  # host -> ToR -> spine -> ToR -> host
+
+    topo.set_delay_function(one_way)

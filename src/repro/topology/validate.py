@@ -1,0 +1,183 @@
+"""Topology and routing validation.
+
+BFC (like PFC) is vulnerable to deadlock when routes create cyclic buffer
+dependencies (§3.9); the paper assumes loop-free up-down routes.  These
+checks let users verify a topology before running long experiments:
+
+* :func:`check_reachability` — every switch has a route to every host, and
+  the routes actually terminate at the destination;
+* :func:`find_routing_loops` — detect destinations whose forwarding graph
+  contains a cycle among switches (a deadlock risk for backpressure schemes);
+* :func:`validate_topology` — run everything and return a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.sim.host import Host
+from repro.sim.switch import Switch
+
+from .topology import Topology
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_topology`."""
+
+    missing_routes: List[Tuple[str, int]] = field(default_factory=list)
+    dead_end_routes: List[Tuple[str, int]] = field(default_factory=list)
+    routing_loops: List[Tuple[int, List[str]]] = field(default_factory=list)
+    unreachable_pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.missing_routes
+            or self.dead_end_routes
+            or self.routing_loops
+            or self.unreachable_pairs
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return "topology OK: all routes present, terminating, and loop-free"
+        parts = []
+        if self.missing_routes:
+            parts.append(f"{len(self.missing_routes)} missing routes")
+        if self.dead_end_routes:
+            parts.append(f"{len(self.dead_end_routes)} dead-end routes")
+        if self.routing_loops:
+            parts.append(f"{len(self.routing_loops)} destinations with routing loops")
+        if self.unreachable_pairs:
+            parts.append(f"{len(self.unreachable_pairs)} unreachable host pairs")
+        return "topology problems: " + ", ".join(parts)
+
+
+def _next_hops(switch: Switch, dst: int) -> List[object]:
+    """The neighbour nodes a switch may forward traffic for ``dst`` to."""
+    choices = switch.routes.get(dst, [])
+    return [
+        switch.interfaces[index].peer_node
+        for index in choices
+        if index < len(switch.interfaces) and switch.interfaces[index].peer_node is not None
+    ]
+
+
+def check_reachability(topology: Topology) -> Tuple[List[Tuple[str, int]], List[Tuple[str, int]]]:
+    """Check that every switch can forward toward every host.
+
+    Returns ``(missing, dead_ends)`` where *missing* lists (switch, host)
+    pairs with no routing entry and *dead_ends* lists entries whose interface
+    is unconnected.
+    """
+    missing: List[Tuple[str, int]] = []
+    dead_ends: List[Tuple[str, int]] = []
+    for switch in topology.all_switches():
+        for host_id in topology.host_ids():
+            choices = switch.routes.get(host_id)
+            if not choices:
+                missing.append((switch.name, host_id))
+                continue
+            for index in choices:
+                if index >= len(switch.interfaces) or switch.interfaces[index].peer_node is None:
+                    dead_ends.append((switch.name, host_id))
+                    break
+    return missing, dead_ends
+
+
+def find_routing_loops(topology: Topology) -> List[Tuple[int, List[str]]]:
+    """Destinations whose forwarding graph has a cycle among switches.
+
+    For each destination host, build the directed graph "switch A may forward
+    to switch B" and look for a cycle with a depth-first search.  Up-down
+    (valley-free) routing is loop-free by construction, so any cycle reported
+    here is a configuration error and a deadlock risk for backpressure.
+    """
+    loops: List[Tuple[int, List[str]]] = []
+    switches = topology.all_switches()
+    for host_id in topology.host_ids():
+        graph: Dict[str, List[str]] = {}
+        for switch in switches:
+            graph[switch.name] = [
+                peer.name
+                for peer in _next_hops(switch, host_id)
+                if isinstance(peer, Switch)
+            ]
+        cycle = _find_cycle(graph)
+        if cycle:
+            loops.append((host_id, cycle))
+    return loops
+
+
+def _find_cycle(graph: Dict[str, List[str]]) -> List[str]:
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    stack: List[str] = []
+
+    def visit(node: str) -> List[str]:
+        colour[node] = GREY
+        stack.append(node)
+        for neighbour in graph.get(node, []):
+            if colour.get(neighbour, WHITE) == GREY:
+                return stack[stack.index(neighbour):] + [neighbour]
+            if colour.get(neighbour, WHITE) == WHITE:
+                found = visit(neighbour)
+                if found:
+                    return found
+        stack.pop()
+        colour[node] = BLACK
+        return []
+
+    for node in graph:
+        if colour[node] == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return []
+
+
+def check_host_reachability(topology: Topology, max_hops: int = 16) -> List[Tuple[int, int]]:
+    """Host pairs for which following the routing tables never reaches the destination."""
+    unreachable: List[Tuple[int, int]] = []
+    host_ids = topology.host_ids()
+    for src in host_ids:
+        tor = topology.tor_switch_of(src)
+        for dst in host_ids:
+            if src == dst:
+                continue
+            if not _walks_to_destination(tor, dst, max_hops):
+                unreachable.append((src, dst))
+    return unreachable
+
+
+def _walks_to_destination(switch: Switch, dst: int, max_hops: int) -> bool:
+    current: Set[object] = {switch}
+    for _ in range(max_hops):
+        next_nodes: Set[object] = set()
+        for node in current:
+            if isinstance(node, Host) and node.host_id == dst:
+                return True
+            if not isinstance(node, Switch):
+                continue
+            for peer in _next_hops(node, dst):
+                next_nodes.add(peer)
+        if not next_nodes:
+            return False
+        if any(isinstance(node, Host) and node.host_id == dst for node in next_nodes):
+            return True
+        current = next_nodes
+    return False
+
+
+def validate_topology(topology: Topology) -> ValidationReport:
+    """Run every check and return a consolidated report."""
+    missing, dead_ends = check_reachability(topology)
+    report = ValidationReport(
+        missing_routes=missing,
+        dead_end_routes=dead_ends,
+        routing_loops=find_routing_loops(topology),
+        unreachable_pairs=check_host_reachability(topology),
+    )
+    return report

@@ -1,0 +1,32 @@
+"""Workload synthesis: flow-size distributions, arrival generators, incast."""
+
+from .distributions import (
+    EmpiricalSizeDistribution,
+    FB_HADOOP,
+    GOOGLE,
+    WEBSEARCH,
+    WORKLOADS,
+    byte_weighted_cdf,
+)
+from .generator import WorkloadSpec, generate_workload, load_to_arrival_rate
+from .incast import IncastSpec, generate_incast_series, incast_period_for_load
+from .longlived import long_lived_flows, many_to_one_flows
+from .trace import FlowTrace
+
+__all__ = [
+    "EmpiricalSizeDistribution",
+    "GOOGLE",
+    "FB_HADOOP",
+    "WEBSEARCH",
+    "WORKLOADS",
+    "byte_weighted_cdf",
+    "WorkloadSpec",
+    "generate_workload",
+    "load_to_arrival_rate",
+    "IncastSpec",
+    "generate_incast_series",
+    "incast_period_for_load",
+    "long_lived_flows",
+    "many_to_one_flows",
+    "FlowTrace",
+]

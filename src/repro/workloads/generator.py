@@ -1,0 +1,136 @@
+"""Open-loop flow arrival generation.
+
+The paper drives its simulations with synthetic traces: flow sizes drawn from
+one of the industry distributions, arrival times following a lognormal
+inter-arrival process (sigma = 2) whose rate is chosen to hit a target
+average load, and source/destination pairs picked uniformly at random.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.flow import Flow
+
+from .distributions import EmpiricalSizeDistribution
+from .trace import FlowTrace
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything needed to synthesise one background-traffic trace.
+
+    Attributes
+    ----------
+    distribution:
+        Flow-size distribution (Google / FB_Hadoop / WebSearch / custom).
+    target_load:
+        Average offered load as a fraction of the *aggregate host link
+        capacity* (the paper's definition: 65 % load means the sum of flow
+        bytes per second equals 65 % of the sum of host line rates).
+    duration_ns:
+        Length of the arrival process.
+    sigma:
+        Lognormal shape parameter of the inter-arrival distribution (2 in the
+        paper; 0 degenerates to (almost) deterministic arrivals).
+    max_flow_size:
+        Optional cap on sampled flow sizes; scaled-down experiments cap the
+        tail so a single elephant cannot dominate a short trace.
+    """
+
+    distribution: EmpiricalSizeDistribution
+    target_load: float
+    duration_ns: int
+    sigma: float = 2.0
+    max_flow_size: Optional[int] = None
+    tag: str = "normal"
+
+    def validate(self) -> None:
+        if not 0 < self.target_load < 1.5:
+            raise ValueError("target_load must be in (0, 1.5)")
+        if self.duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+
+def load_to_arrival_rate(
+    target_load: float,
+    num_hosts: int,
+    host_link_rate_bps: float,
+    mean_flow_size_bytes: float,
+) -> float:
+    """Flow arrival rate (flows/second) that produces ``target_load``."""
+    if mean_flow_size_bytes <= 0:
+        raise ValueError("mean flow size must be positive")
+    aggregate_capacity_Bps = num_hosts * host_link_rate_bps / 8.0
+    return target_load * aggregate_capacity_Bps / mean_flow_size_bytes
+
+
+def _lognormal_interarrivals(
+    rng: random.Random, mean_ns: float, sigma: float
+) -> float:
+    """One inter-arrival sample with the requested mean and lognormal shape."""
+    if sigma <= 0:
+        return mean_ns
+    mu = math.log(mean_ns) - sigma * sigma / 2.0
+    return rng.lognormvariate(mu, sigma)
+
+
+def generate_workload(
+    spec: WorkloadSpec,
+    host_ids: Sequence[int],
+    host_link_rate_bps: float,
+    seed: int = 1,
+    src_hosts: Optional[Sequence[int]] = None,
+    dst_hosts: Optional[Sequence[int]] = None,
+) -> FlowTrace:
+    """Synthesise a background trace for the given hosts.
+
+    ``src_hosts`` / ``dst_hosts`` default to all hosts; the cross-DC scenario
+    passes subsets to control the inter-DC traffic share.
+    """
+    spec.validate()
+    if len(host_ids) < 2:
+        raise ValueError("need at least two hosts")
+    rng = random.Random(seed)
+    srcs = list(src_hosts) if src_hosts is not None else list(host_ids)
+    dsts = list(dst_hosts) if dst_hosts is not None else list(host_ids)
+
+    mean_size = spec.distribution.mean()
+    if spec.max_flow_size is not None:
+        mean_size = min(mean_size, spec.max_flow_size)
+    rate_per_s = load_to_arrival_rate(
+        spec.target_load, len(host_ids), host_link_rate_bps, mean_size
+    )
+    mean_interarrival_ns = 1e9 / rate_per_s
+
+    flows: List[Flow] = []
+    now = 0.0
+    port = 1
+    while True:
+        now += _lognormal_interarrivals(rng, mean_interarrival_ns, spec.sigma)
+        if now >= spec.duration_ns:
+            break
+        size = spec.distribution.sample(rng)
+        if spec.max_flow_size is not None:
+            size = min(size, spec.max_flow_size)
+        src = rng.choice(srcs)
+        dst = rng.choice(dsts)
+        while dst == src:
+            dst = rng.choice(dsts)
+        flows.append(
+            Flow(
+                src=src,
+                dst=dst,
+                size=size,
+                start_ns=int(now),
+                src_port=1_000 + (port % 50_000),
+                tag=spec.tag,
+            )
+        )
+        port += 1
+    return FlowTrace(flows)

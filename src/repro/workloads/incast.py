@@ -1,0 +1,101 @@
+"""Incast traffic generation.
+
+The paper adds "5 % incast" to several experiments: periodically, many
+senders (the *fan-in*, 100 in Fig. 5, swept from 10 to 800 in Fig. 8)
+simultaneously send to one receiver; the aggregate size of each incast event
+is fixed (20 MB in the paper) so a larger fan-in means smaller per-sender
+flows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.flow import Flow
+
+from .trace import FlowTrace
+
+
+@dataclass
+class IncastSpec:
+    """Parameters of a periodic incast process."""
+
+    fan_in: int
+    aggregate_bytes: int
+    period_ns: int
+    duration_ns: int
+    start_ns: int = 0
+
+    def per_sender_bytes(self) -> int:
+        return max(1, self.aggregate_bytes // self.fan_in)
+
+    def validate(self) -> None:
+        if self.fan_in < 1:
+            raise ValueError("fan_in must be >= 1")
+        if self.aggregate_bytes <= 0:
+            raise ValueError("aggregate_bytes must be positive")
+        if self.period_ns <= 0 or self.duration_ns <= 0:
+            raise ValueError("period and duration must be positive")
+
+
+def incast_period_for_load(
+    incast_load: float,
+    aggregate_bytes: int,
+    num_hosts: int,
+    host_link_rate_bps: float,
+) -> int:
+    """Period between incast events so they contribute ``incast_load``.
+
+    The paper expresses incast as a share of the network capacity (e.g.
+    "60 % + 5 % incast"); with one ``aggregate_bytes`` event per period the
+    offered incast load is aggregate_bytes / (period * capacity).
+    """
+    if not 0 < incast_load < 1:
+        raise ValueError("incast_load must be in (0, 1)")
+    aggregate_capacity_Bps = num_hosts * host_link_rate_bps / 8.0
+    period_s = aggregate_bytes / (incast_load * aggregate_capacity_Bps)
+    return max(1, int(period_s * 1e9))
+
+
+def generate_incast_series(
+    spec: IncastSpec,
+    host_ids: Sequence[int],
+    seed: int = 2,
+    receiver: Optional[int] = None,
+) -> FlowTrace:
+    """Generate the incast flows for a whole run.
+
+    Each event picks a receiver (fixed if ``receiver`` is given, otherwise
+    random per event) and ``fan_in`` distinct senders; every sender transfers
+    ``aggregate_bytes / fan_in`` starting at the same instant.
+    """
+    spec.validate()
+    if len(host_ids) < 2:
+        raise ValueError("need at least two hosts")
+    rng = random.Random(seed)
+    flows: List[Flow] = []
+    per_sender = spec.per_sender_bytes()
+    event_time = spec.start_ns
+    event_index = 0
+    while event_time < spec.start_ns + spec.duration_ns:
+        dst = receiver if receiver is not None else rng.choice(list(host_ids))
+        senders = [h for h in host_ids if h != dst]
+        fan_in = min(spec.fan_in, len(senders))
+        chosen = rng.sample(senders, fan_in)
+        for i, src in enumerate(chosen):
+            flows.append(
+                Flow(
+                    src=src,
+                    dst=dst,
+                    size=per_sender,
+                    start_ns=int(event_time),
+                    src_port=20_000 + (event_index % 1_000) * 32 + (i % 32),
+                    is_incast=True,
+                    tag="incast",
+                )
+            )
+        event_time += spec.period_ns
+        event_index += 1
+    return FlowTrace(flows)

@@ -1,0 +1,81 @@
+"""Long-lived flow sets used by the Fig. 8 and Fig. 10 scenarios."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.sim.flow import Flow
+
+from .trace import FlowTrace
+
+
+def long_lived_flows(
+    host_ids: Sequence[int],
+    flows_per_receiver: int,
+    size_bytes: int,
+    seed: int = 3,
+    start_ns: int = 0,
+    receivers: Optional[Sequence[int]] = None,
+) -> FlowTrace:
+    """"4 long-lived flows for each receiver from 4 random senders" (Fig. 8).
+
+    Every receiver gets ``flows_per_receiver`` flows of ``size_bytes`` from
+    distinct random senders, all starting at ``start_ns``.
+    """
+    if flows_per_receiver < 1:
+        raise ValueError("flows_per_receiver must be >= 1")
+    rng = random.Random(seed)
+    targets = list(receivers) if receivers is not None else list(host_ids)
+    flows: List[Flow] = []
+    for dst in targets:
+        senders = [h for h in host_ids if h != dst]
+        chosen = rng.sample(senders, min(flows_per_receiver, len(senders)))
+        for i, src in enumerate(chosen):
+            flows.append(
+                Flow(
+                    src=src,
+                    dst=dst,
+                    size=size_bytes,
+                    start_ns=start_ns,
+                    src_port=30_000 + i,
+                    tag="longlived",
+                )
+            )
+    return FlowTrace(flows)
+
+
+def many_to_one_flows(
+    host_ids: Sequence[int],
+    receiver: int,
+    num_flows: int,
+    size_bytes: int,
+    seed: int = 4,
+    start_ns: int = 0,
+) -> FlowTrace:
+    """``num_flows`` concurrent long-lived flows to a single receiver (Fig. 10)."""
+    if receiver not in host_ids:
+        raise ValueError("receiver must be one of the hosts")
+    senders = [h for h in host_ids if h != receiver]
+    if not senders:
+        raise ValueError("need at least one sender besides the receiver")
+    rng = random.Random(seed)
+    flows: List[Flow] = []
+    for i in range(num_flows):
+        src = senders[i % len(senders)] if num_flows > len(senders) else rng.choice(senders)
+        flows.append(
+            Flow(
+                src=src,
+                dst=receiver,
+                size=size_bytes,
+                start_ns=start_ns,
+                src_port=40_000 + i,
+                tag="longlived",
+            )
+        )
+    # Ensure distinct senders where possible (spread across hosts).
+    if num_flows <= len(senders):
+        chosen = rng.sample(senders, num_flows)
+        for flow, src in zip(flows, chosen):
+            flow.src = src
+    return FlowTrace(flows)

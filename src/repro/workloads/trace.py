@@ -1,0 +1,103 @@
+"""Flow traces: containers of flows plus bookkeeping helpers."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, List, Optional
+
+from repro.sim.flow import Flow
+
+
+class FlowTrace:
+    """An ordered collection of flows (one synthetic trace)."""
+
+    def __init__(self, flows: Optional[Iterable[Flow]] = None) -> None:
+        self.flows: List[Flow] = sorted(flows or [], key=lambda f: f.start_ns)
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self.flows)
+
+    def __getitem__(self, index: int) -> Flow:
+        return self.flows[index]
+
+    # -- composition --------------------------------------------------------------
+
+    def merge(self, other: "FlowTrace") -> "FlowTrace":
+        """A new trace containing the flows of both traces, sorted by start time."""
+        return FlowTrace(self.flows + other.flows)
+
+    def filtered(self, predicate) -> "FlowTrace":
+        return FlowTrace([f for f in self.flows if predicate(f)])
+
+    # -- properties --------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.flows)
+
+    def duration_ns(self) -> int:
+        if not self.flows:
+            return 0
+        return max(f.start_ns for f in self.flows) - min(f.start_ns for f in self.flows)
+
+    def offered_load(self, num_hosts: int, host_link_rate_bps: float, duration_ns: int) -> float:
+        """Offered load relative to the aggregate host link capacity."""
+        if duration_ns <= 0:
+            return 0.0
+        capacity_bytes = num_hosts * host_link_rate_bps * duration_ns / (8 * 1e9)
+        if capacity_bytes <= 0:
+            return 0.0
+        return self.total_bytes() / capacity_bytes
+
+    def incast_flows(self) -> "FlowTrace":
+        return self.filtered(lambda f: f.is_incast)
+
+    def normal_flows(self) -> "FlowTrace":
+        return self.filtered(lambda f: not f.is_incast)
+
+    # -- (de)serialisation -----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        records = [
+            {
+                "src": f.src,
+                "dst": f.dst,
+                "size": f.size,
+                "start_ns": f.start_ns,
+                "src_port": f.src_port,
+                "dst_port": f.dst_port,
+                "is_incast": f.is_incast,
+                "tag": f.tag,
+            }
+            for f in self.flows
+        ]
+        return json.dumps(records)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FlowTrace":
+        records = json.loads(text)
+        flows = [
+            Flow(
+                src=r["src"],
+                dst=r["dst"],
+                size=r["size"],
+                start_ns=r["start_ns"],
+                src_port=r.get("src_port", 0),
+                dst_port=r.get("dst_port", 0),
+                is_incast=r.get("is_incast", False),
+                tag=r.get("tag", "normal"),
+            )
+            for r in records
+        ]
+        return cls(flows)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "FlowTrace":
+        with open(path, "r", encoding="ascii") as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.flow import reset_flow_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    """Keep flow IDs deterministic within each test."""
+    reset_flow_ids()
+    yield
+    reset_flow_ids()
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import FIGURE_FACTORIES, build_parser, main
+from repro.experiments.schemes import available_schemes
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "NotAScheme"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scale", "huge"])
+
+    def test_figure_names_match_registry(self):
+        args = build_parser().parse_args(["figure", "fig5a"])
+        assert args.name == "fig5a"
+        assert "fig5a" in FIGURE_FACTORIES
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestInformationalCommands:
+    def test_schemes_lists_everything(self):
+        code, output = run_cli(["schemes"])
+        assert code == 0
+        for scheme in available_schemes():
+            assert scheme in output
+
+    def test_workloads_table(self):
+        code, output = run_cli(["workloads"])
+        assert code == 0
+        for name in ("Google", "FB_Hadoop", "WebSearch"):
+            assert name in output
+        assert "BDP" in output
+
+
+class TestRunCommand:
+    def test_run_text_output(self):
+        code, output = run_cli(
+            ["run", "--scheme", "BFC", "--scale", "tiny", "--load", "0.3",
+             "--incast", "0", "--seed", "2"]
+        )
+        assert code == 0
+        assert "p99_slowdown" in output
+        assert "flow size" in output
+
+    def test_run_json_output(self):
+        code, output = run_cli(
+            ["run", "--scheme", "DCQCN+Win", "--scale", "tiny", "--load", "0.3",
+             "--incast", "0", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["scheme"] == "DCQCN+Win"
+        assert payload["completion_rate"] > 0.8
+        assert payload["flows_offered"] > 0
+
+    def test_run_different_workload(self):
+        code, output = run_cli(
+            ["run", "--scheme", "BFC", "--workload", "fb_hadoop", "--load", "0.3",
+             "--incast", "0", "--json"]
+        )
+        assert code == 0
+        assert json.loads(output)["dropped_packets"] == 0
+
+
+class TestCompareAndFigure:
+    def test_compare_json(self):
+        code, output = run_cli(
+            ["compare", "--schemes", "BFC", "DCQCN", "--load", "0.3", "--incast", "0",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert set(payload) == {"BFC", "DCQCN"}
+        assert all("p99_slowdown" in row for row in payload.values())
+
+    def test_compare_text_table(self):
+        code, output = run_cli(
+            ["compare", "--schemes", "BFC", "Ideal-FQ", "--load", "0.3", "--incast", "0"]
+        )
+        assert code == 0
+        assert "p99 FCT slowdown" in output
+        assert "Ideal-FQ" in output
+
+    def test_figure_with_scheme_subset(self):
+        code, output = run_cli(
+            ["figure", "fig5a", "--schemes", "BFC", "DCQCN", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert set(payload) == {"BFC", "DCQCN"}
+
+    def test_figure_text_output(self):
+        code, output = run_cli(["figure", "fig13", "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert len(payload) >= 3

@@ -1,0 +1,177 @@
+"""Unit tests for the DCQCN rate-control state machine."""
+
+import pytest
+
+from repro.congestion.dcqcn import DcqcnConfig, DcqcnControl, DcqcnWindowedControl
+from repro.sim import units
+from repro.sim.flow import Flow
+from repro.sim.host import SenderFlowState
+from repro.sim.packet import FlowKey, Packet, PacketKind
+
+
+LINE_RATE = units.gbps(10)
+
+
+def make_fstate() -> SenderFlowState:
+    return SenderFlowState(Flow(src=0, dst=1, size=1_000_000, start_ns=0), mtu=1000)
+
+
+def make_packet(size=1048) -> Packet:
+    return Packet(
+        kind=PacketKind.DATA,
+        flow_id=1,
+        key=FlowKey(src=0, dst=1, src_port=1, dst_port=2),
+        size=size,
+    )
+
+
+class TestConfig:
+    def test_default_config_valid(self):
+        DcqcnConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("g", 0.0),
+            ("g", 2.0),
+            ("alpha_timer_ns", 0),
+            ("increase_timer_ns", -1),
+            ("byte_counter_bytes", 0),
+            ("fast_recovery_rounds", 0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, field, value):
+        config = DcqcnConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestRateDecrease:
+    def test_flow_starts_at_line_rate(self):
+        cc = DcqcnControl(LINE_RATE)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        assert cc.rate_bps(fstate) == LINE_RATE
+
+    def test_cnp_cuts_rate(self):
+        cc = DcqcnControl(LINE_RATE)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 1_000)
+        # alpha starts at 1.0, so the first CNP halves the rate.
+        assert cc.rate_bps(fstate) == pytest.approx(LINE_RATE / 2, rel=0.01)
+
+    def test_repeated_cnps_keep_cutting(self):
+        cc = DcqcnControl(LINE_RATE)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        previous = cc.rate_bps(fstate)
+        for i in range(5):
+            cc.on_cnp(fstate, (i + 1) * 1_000)
+            current = cc.rate_bps(fstate)
+            assert current < previous
+            previous = current
+
+    def test_rate_never_below_minimum(self):
+        cc = DcqcnControl(LINE_RATE, DcqcnConfig(min_rate_fraction=0.01))
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        for i in range(100):
+            cc.on_cnp(fstate, (i + 1) * 1_000)
+        assert cc.rate_bps(fstate) >= 0.01 * LINE_RATE
+
+    def test_alpha_increases_on_cnp(self):
+        cc = DcqcnControl(LINE_RATE, DcqcnConfig(initial_alpha=0.5))
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        before = cc.current_alpha(fstate, 0)
+        cc.on_cnp(fstate, 1_000)
+        after = cc.current_alpha(fstate, 1_000)
+        assert after > before * (1 - cc.config.g)
+
+
+class TestAlphaDecay:
+    def test_alpha_decays_without_cnps(self):
+        cc = DcqcnControl(LINE_RATE)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 0)
+        alpha_early = cc.current_alpha(fstate, 10_000)
+        alpha_late = cc.current_alpha(fstate, 200_000_000)  # 200 ms without CNPs
+        assert alpha_late < alpha_early
+        assert alpha_late < 0.1
+
+    def test_decay_follows_geometric_form(self):
+        config = DcqcnConfig(g=1 / 256, alpha_timer_ns=55_000)
+        cc = DcqcnControl(LINE_RATE, config)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 0)
+        alpha_at_cnp = 1.0  # alpha right after the first CNP: (1-g)*1 + g = 1
+        periods = 10
+        expected = alpha_at_cnp * (1 - config.g) ** periods
+        measured = cc.current_alpha(fstate, periods * 55_000)
+        assert measured == pytest.approx(expected, rel=0.01)
+
+
+class TestRateRecovery:
+    def test_rate_recovers_after_congestion_clears(self):
+        cc = DcqcnControl(LINE_RATE)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 0)
+        low = cc.current_rate(fstate, 1_000)
+        recovered = cc.current_rate(fstate, 50_000_000)  # 50 ms without CNPs
+        assert recovered > low
+        assert recovered == pytest.approx(LINE_RATE, rel=0.05)
+
+    def test_fast_recovery_moves_toward_target(self):
+        config = DcqcnConfig(increase_timer_ns=10_000)
+        cc = DcqcnControl(LINE_RATE, config)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 0)
+        # After one CNP, target = old rate (line rate), rate = half.  One
+        # fast-recovery event should close half the gap.
+        one_event = cc.current_rate(fstate, 10_500)
+        assert one_event == pytest.approx(0.75 * LINE_RATE, rel=0.02)
+
+    def test_byte_counter_drives_recovery(self):
+        config = DcqcnConfig(byte_counter_bytes=10_000, increase_timer_ns=10**12)
+        cc = DcqcnControl(LINE_RATE, config)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 0)
+        low = cc.rate_bps(fstate)
+        for _ in range(20):
+            cc.on_packet_sent(fstate, make_packet(), 1_000)
+        assert cc.rate_bps(fstate) > low
+
+    def test_recovery_does_not_exceed_line_rate(self):
+        cc = DcqcnControl(LINE_RATE)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 0)
+        assert cc.current_rate(fstate, 10**9) <= LINE_RATE
+
+
+class TestWindowedVariant:
+    def test_window_is_reported(self):
+        cc = DcqcnWindowedControl(LINE_RATE, window_bytes=12_500)
+        fstate = make_fstate()
+        assert cc.window_bytes(fstate) == 12_500
+
+    def test_plain_dcqcn_has_no_window(self):
+        cc = DcqcnControl(LINE_RATE)
+        assert cc.window_bytes(make_fstate()) is None
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            DcqcnWindowedControl(LINE_RATE, window_bytes=0)
+
+    def test_windowed_variant_still_reacts_to_cnp(self):
+        cc = DcqcnWindowedControl(LINE_RATE, window_bytes=12_500)
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        cc.on_cnp(fstate, 1_000)
+        assert cc.rate_bps(fstate) < LINE_RATE

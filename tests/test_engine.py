@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self, sim):
+        order = []
+        for label in "abcde":
+            sim.schedule(100, order.append, label)
+        sim.run_until_idle()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(50, lambda: times.append(sim.now))
+        sim.schedule(75, lambda: times.append(sim.now))
+        sim.run_until_idle()
+        assert times == [50, 75]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(123, fired.append, 1)
+        sim.run_until_idle()
+        assert fired == [1]
+        assert sim.now == 123
+
+    def test_nested_scheduling(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(5, lambda: order.append("inner"))
+
+        sim.schedule(10, outer)
+        sim.run_until_idle()
+        assert order == ["outer", "inner"]
+        assert sim.now == 15
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_one_of_many(self, sim):
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        victim = sim.schedule(20, fired.append, "b")
+        sim.schedule(30, fired.append, "c")
+        victim.cancel()
+        sim.run_until_idle()
+        assert fired == ["a", "c"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(10, fired.append, "early")
+        sim.schedule(100, fired.append, "late")
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+        sim.run(until=200)
+        assert fired == ["early", "late"]
+
+    def test_run_until_returns_processed_count(self, sim):
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.run(until=3) == 3
+
+    def test_max_events_cap(self, sim):
+        for i in range(100):
+            sim.schedule(i + 1, lambda: None)
+        processed = sim.run(max_events=10)
+        assert processed == 10
+        assert sim.pending_events() == 90
+
+    def test_events_processed_counter(self, sim):
+        for i in range(7):
+            sim.schedule(i + 1, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 7
+
+    def test_empty_run_is_harmless(self, sim):
+        assert sim.run_until_idle() == 0
+        assert sim.now == 0
+
+    def test_clock_advances_to_until_even_with_no_events(self, sim):
+        sim.run(until=5_000)
+        assert sim.now == 5_000
+
+    def test_reentrant_run_rejected(self, sim):
+        def recurse():
+            sim.run_until_idle()
+
+        sim.schedule(1, recurse)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle()
+
+
+class TestDeterminism:
+    def test_rng_is_seed_deterministic(self):
+        a = Simulator(seed=7).rng().random()
+        b = Simulator(seed=7).rng().random()
+        c = Simulator(seed=8).rng().random()
+        assert a == b
+        assert a != c
+
+    def test_rng_salt_changes_stream(self):
+        sim = Simulator(seed=7)
+        assert sim.rng(salt=1).random() != sim.rng(salt=1).random()  # fresh draws differ
+
+    def test_identical_schedules_fire_identically(self):
+        def run_once():
+            sim = Simulator(seed=3)
+            order = []
+            rng = sim.rng()
+            for _ in range(20):
+                sim.schedule(rng.randint(1, 100), order.append, rng.random())
+            sim.run_until_idle()
+            return order
+
+        assert run_once() == run_once()

@@ -1,0 +1,89 @@
+"""Unit tests for flow descriptors and FCT/slowdown accounting."""
+
+import pytest
+
+from repro.sim import units
+from repro.sim.flow import Flow, reset_flow_ids
+
+
+class TestFlowIdentity:
+    def test_ids_are_unique_and_increasing(self):
+        flows = [Flow(src=0, dst=1, size=100, start_ns=0) for _ in range(5)]
+        ids = [f.flow_id for f in flows]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_reset_flow_ids(self):
+        Flow(src=0, dst=1, size=100, start_ns=0)
+        reset_flow_ids()
+        assert Flow(src=0, dst=1, size=100, start_ns=0).flow_id == 1
+
+    def test_key_uses_rocev2_port(self):
+        flow = Flow(src=3, dst=4, size=100, start_ns=0)
+        assert flow.key().dst_port == 4791
+        assert flow.key().src == 3
+        assert flow.key().dst == 4
+
+    def test_explicit_ports_respected(self):
+        flow = Flow(src=3, dst=4, size=100, start_ns=0, src_port=111, dst_port=222)
+        key = flow.key()
+        assert key.src_port == 111
+        assert key.dst_port == 222
+
+
+class TestCompletion:
+    def test_not_completed_initially(self):
+        flow = Flow(src=0, dst=1, size=100, start_ns=10)
+        assert not flow.completed
+        assert flow.fct_ns() is None
+        assert flow.slowdown(units.gbps(10), 1000) is None
+
+    def test_fct_is_finish_minus_start(self):
+        flow = Flow(src=0, dst=1, size=100, start_ns=1_000)
+        flow.finish_ns = 6_000
+        assert flow.completed
+        assert flow.fct_ns() == 5_000
+
+
+class TestIdealFct:
+    def test_single_packet_flow(self):
+        flow = Flow(src=0, dst=1, size=500, start_ns=0)
+        # 500 B payload + 48 B header at 10 Gbps = 438.4 ns, plus 2000 ns delay
+        ideal = flow.ideal_fct_ns(units.gbps(10), base_delay_ns=2_000, mtu=1000)
+        assert ideal == pytest.approx(2_000 + (500 + 48) * 8 / 10, rel=1e-6)
+
+    def test_multi_packet_flow_counts_headers(self):
+        flow = Flow(src=0, dst=1, size=3_000, start_ns=0)
+        ideal = flow.ideal_fct_ns(units.gbps(10), base_delay_ns=0, mtu=1000)
+        wire_bytes = 3_000 + 3 * 48
+        assert ideal == pytest.approx(wire_bytes * 8 / 10, rel=1e-6)
+
+    def test_ideal_fct_scales_with_rate(self):
+        flow = Flow(src=0, dst=1, size=100_000, start_ns=0)
+        slow = flow.ideal_fct_ns(units.gbps(10), 0)
+        fast = flow.ideal_fct_ns(units.gbps(100), 0)
+        assert slow == pytest.approx(10 * fast, rel=1e-6)
+
+
+class TestSlowdown:
+    def test_slowdown_of_ideal_completion_is_one(self):
+        flow = Flow(src=0, dst=1, size=1_000, start_ns=0)
+        ideal = flow.ideal_fct_ns(units.gbps(10), base_delay_ns=4_000)
+        flow.finish_ns = int(ideal)
+        assert flow.slowdown(units.gbps(10), 4_000) == pytest.approx(1.0, rel=0.01)
+
+    def test_slowdown_never_below_one(self):
+        flow = Flow(src=0, dst=1, size=1_000, start_ns=0)
+        flow.finish_ns = 1  # impossibly fast
+        assert flow.slowdown(units.gbps(10), 4_000) == 1.0
+
+    def test_slowdown_doubles_with_double_fct(self):
+        flow = Flow(src=0, dst=1, size=10_000, start_ns=0)
+        ideal = flow.ideal_fct_ns(units.gbps(10), base_delay_ns=4_000)
+        flow.finish_ns = int(2 * ideal)
+        assert flow.slowdown(units.gbps(10), 4_000) == pytest.approx(2.0, rel=0.01)
+
+    def test_incast_flag_and_tag(self):
+        flow = Flow(src=0, dst=1, size=10, start_ns=0, is_incast=True, tag="incast")
+        assert flow.is_incast
+        assert flow.tag == "incast"

@@ -1,0 +1,157 @@
+"""Unit tests for the HPCC window-control algorithm."""
+
+import pytest
+
+from repro.congestion.hpcc import HpccConfig, HpccControl
+from repro.sim import units
+from repro.sim.flow import Flow
+from repro.sim.host import SenderFlowState
+from repro.sim.packet import FlowKey, IntHop, Packet, PacketKind
+
+
+LINE_RATE = units.gbps(10)
+BASE_RTT = 8_000
+
+
+def make_fstate() -> SenderFlowState:
+    return SenderFlowState(Flow(src=0, dst=1, size=1_000_000, start_ns=0), mtu=1000)
+
+
+def make_ack(ack_seq: int, int_stack) -> Packet:
+    return Packet(
+        kind=PacketKind.ACK,
+        flow_id=1,
+        key=FlowKey(src=1, dst=0, src_port=2, dst_port=1),
+        size=64,
+        ack_seq=ack_seq,
+        int_stack=list(int_stack),
+    )
+
+
+def hop(ts_ns: int, tx_bytes: int, queue_bytes: int, rate=LINE_RATE, node="sw0") -> IntHop:
+    return IntHop(node=node, timestamp_ns=ts_ns, tx_bytes=tx_bytes, queue_bytes=queue_bytes, rate_bps=rate)
+
+
+def control(eta=0.95, max_stage=5) -> HpccControl:
+    return HpccControl(LINE_RATE, HpccConfig(eta=eta, max_stage=max_stage, base_rtt_ns=BASE_RTT))
+
+
+def feed(cc, fstate, acks):
+    """Feed a sequence of (ack_seq, int_stack) pairs through the control."""
+    for ack_seq, stack in acks:
+        fstate.next_seq = max(fstate.next_seq, ack_seq)
+        cc.on_ack(fstate, make_ack(ack_seq, stack), ack_seq * 1_000)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        HpccConfig().validate()
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            HpccConfig(eta=0).validate()
+        with pytest.raises(ValueError):
+            HpccConfig(eta=1.5).validate()
+
+    def test_invalid_stage_and_rtt(self):
+        with pytest.raises(ValueError):
+            HpccConfig(max_stage=0).validate()
+        with pytest.raises(ValueError):
+            HpccConfig(base_rtt_ns=0).validate()
+
+
+class TestInitialWindow:
+    def test_initial_window_is_one_bdp(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        bdp = LINE_RATE * BASE_RTT / (8 * 1e9)
+        assert cc.window_bytes(fstate) == pytest.approx(bdp, rel=0.01)
+
+    def test_initial_rate_is_line_rate(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        assert cc.rate_bps(fstate) == pytest.approx(LINE_RATE, rel=0.01)
+
+
+class TestWindowAdaptation:
+    def test_congested_link_shrinks_window(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        w0 = cc.current_window(fstate)
+        bdp = LINE_RATE * BASE_RTT / (8 * 1e9)
+        # Full utilisation and a standing queue of 3 BDP on hop sw0.
+        acks = []
+        tx = 0
+        for i in range(1, 12):
+            tx += 10_000  # 10 KB per ms -> way above line rate? keep consistent with dt
+            acks.append((i, [hop(ts_ns=i * 1_000, tx_bytes=int(i * 1_250), queue_bytes=int(3 * bdp))]))
+        feed(cc, fstate, acks)
+        assert cc.current_window(fstate) < w0
+
+    def test_idle_link_grows_window_additively(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        # Shrink first so there is room to grow.
+        bdp = LINE_RATE * BASE_RTT / (8 * 1e9)
+        feed(cc, fstate, [(i, [hop(i * 1_000, int(i * 1_250), int(3 * bdp))]) for i in range(1, 8)])
+        shrunk = cc.current_window(fstate)
+        # Now the link is idle (no queue, negligible throughput).
+        feed(cc, fstate, [(i, [hop(i * 1_000, 0, 0)]) for i in range(10, 30)])
+        assert cc.current_window(fstate) > shrunk
+
+    def test_window_never_below_minimum(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        bdp = LINE_RATE * BASE_RTT / (8 * 1e9)
+        feed(
+            cc,
+            fstate,
+            [(i, [hop(i * 1_000, int(i * 1_250), int(50 * bdp))]) for i in range(1, 50)],
+        )
+        assert cc.window_bytes(fstate) >= cc.config.min_window_bytes
+
+    def test_window_never_above_initial(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        feed(cc, fstate, [(i, [hop(i * 1_000, 0, 0)]) for i in range(1, 60)])
+        assert cc.current_window(fstate) <= cc.initial_window + 1
+
+    def test_rate_tracks_window(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        bdp = LINE_RATE * BASE_RTT / (8 * 1e9)
+        feed(cc, fstate, [(i, [hop(i * 1_000, int(i * 1_250), int(4 * bdp))]) for i in range(1, 12)])
+        expected = cc.current_window(fstate) * 8 * 1e9 / BASE_RTT
+        assert cc.rate_bps(fstate) == pytest.approx(min(LINE_RATE, expected), rel=0.01)
+
+    def test_acks_without_int_are_ignored(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        before = cc.current_window(fstate)
+        cc.on_ack(fstate, make_ack(1, []), 1_000)
+        assert cc.current_window(fstate) == before
+
+    def test_max_utilisation_hop_dominates(self):
+        cc = control()
+        fstate = make_fstate()
+        cc.on_flow_start(fstate, 0)
+        bdp = LINE_RATE * BASE_RTT / (8 * 1e9)
+        # Two hops: one idle, one congested; the congested one should drive
+        # the window down despite the idle hop.
+        acks = []
+        for i in range(1, 10):
+            stack = [
+                hop(i * 1_000, 0, 0, node="idle"),
+                hop(i * 1_000, int(i * 1_250), int(4 * bdp), node="busy"),
+            ]
+            acks.append((i, stack))
+        feed(cc, fstate, acks)
+        assert cc.current_window(fstate) < cc.initial_window

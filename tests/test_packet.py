@@ -1,0 +1,98 @@
+"""Unit tests for packets and flow keys."""
+
+import pytest
+
+from repro.sim.packet import (
+    DATA_HEADER_SIZE,
+    FlowKey,
+    IntHop,
+    Packet,
+    PacketKind,
+)
+
+
+def make_data_packet(**overrides) -> Packet:
+    defaults = dict(
+        kind=PacketKind.DATA,
+        flow_id=1,
+        key=FlowKey(src=1, dst=2, src_port=100, dst_port=200),
+        size=1048,
+        seq=0,
+        flow_size=5000,
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestFlowKey:
+    def test_vfid_is_deterministic(self):
+        key = FlowKey(src=1, dst=2, src_port=3, dst_port=4)
+        assert key.vfid(16384) == key.vfid(16384)
+
+    def test_vfid_in_range(self):
+        for i in range(100):
+            key = FlowKey(src=i, dst=i + 1, src_port=i * 7, dst_port=4791)
+            assert 0 <= key.vfid(1024) < 1024
+
+    def test_vfid_differs_across_flows(self):
+        keys = [FlowKey(src=i, dst=200, src_port=i, dst_port=4791) for i in range(50)]
+        vfids = {k.vfid(1 << 20) for k in keys}
+        assert len(vfids) > 45  # collisions in a 1M space should be very rare
+
+    def test_reversed_swaps_endpoints(self):
+        key = FlowKey(src=1, dst=2, src_port=3, dst_port=4, protocol=6)
+        rev = key.reversed()
+        assert rev == FlowKey(src=2, dst=1, src_port=4, dst_port=3, protocol=6)
+
+    def test_reversed_twice_is_identity(self):
+        key = FlowKey(src=9, dst=8, src_port=7, dst_port=6)
+        assert key.reversed().reversed() == key
+
+    def test_keys_are_hashable_and_comparable(self):
+        a = FlowKey(src=1, dst=2, src_port=3, dst_port=4)
+        b = FlowKey(src=1, dst=2, src_port=3, dst_port=4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestPacket:
+    def test_data_packet_is_not_control(self):
+        assert not make_data_packet().is_control()
+
+    @pytest.mark.parametrize(
+        "kind", [PacketKind.ACK, PacketKind.NACK, PacketKind.CNP, PacketKind.PFC, PacketKind.BLOOM]
+    )
+    def test_non_data_kinds_are_control(self, kind):
+        packet = make_data_packet(kind=kind, size=64)
+        assert packet.is_control()
+
+    def test_payload_bytes_subtracts_header(self):
+        packet = make_data_packet(size=1000 + DATA_HEADER_SIZE)
+        assert packet.payload_bytes() == 1000
+
+    def test_payload_bytes_zero_for_control(self):
+        ack = make_data_packet(kind=PacketKind.ACK, size=64)
+        assert ack.payload_bytes() == 0
+
+    def test_clone_for_retransmit_copies_identity(self):
+        original = make_data_packet(seq=5, first_of_flow=True, last_of_flow=True)
+        clone = original.clone_for_retransmit()
+        assert clone is not original
+        assert clone.seq == 5
+        assert clone.flow_id == original.flow_id
+        assert clone.first_of_flow and clone.last_of_flow
+
+    def test_clone_does_not_copy_transient_state(self):
+        original = make_data_packet()
+        original.ecn_marked = True
+        original.cur_ingress = 3
+        clone = original.clone_for_retransmit()
+        assert clone.ecn_marked is False
+        assert clone.cur_ingress == -1
+
+    def test_int_stack_is_per_packet(self):
+        a = make_data_packet()
+        b = make_data_packet()
+        a.int_stack.append(IntHop("s1", 1, 2, 3, 4.0))
+        assert b.int_stack == []

@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These check structural invariants under randomly generated operation
+sequences: Bloom filters never produce false negatives, counting filters
+support removal, DRR conserves work and is approximately fair, the flow table
+and the shared buffer never lose track of their contents, and the empirical
+distributions behave like CDFs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilterCodec, CountingBloomFilter
+from repro.core.config import BfcConfig
+from repro.core.queues import PhysicalQueuePool
+from repro.core.vfid import FlowTable
+from repro.sim.buffer import SharedBuffer
+from repro.sim.disciplines import DeficitRoundRobin
+from repro.sim.packet import FlowKey
+from repro.sim.stats import percentile
+from repro.workloads.distributions import GOOGLE, WEBSEARCH
+
+
+# ---------------------------------------------------------------------------
+# Bloom filters
+# ---------------------------------------------------------------------------
+
+
+@given(vfids=st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=64))
+def test_bloom_encode_has_no_false_negatives(vfids):
+    codec = BloomFilterCodec(size_bytes=128, num_hashes=4)
+    bitmap = codec.encode(vfids)
+    assert all(codec.contains(bitmap, v) for v in vfids)
+
+
+@given(
+    members=st.sets(st.integers(min_value=0, max_value=1 << 16), max_size=40),
+    removed_count=st.integers(min_value=0, max_value=40),
+)
+def test_counting_bloom_membership_after_removals(members, removed_count):
+    codec = BloomFilterCodec(size_bytes=64, num_hashes=4)
+    filt = CountingBloomFilter(codec)
+    members = list(members)
+    for vfid in members:
+        filt.add(vfid)
+    removed = members[:removed_count]
+    kept = members[removed_count:]
+    for vfid in removed:
+        filt.remove(vfid)
+    # No false negatives for the members that remain.
+    assert all(filt.contains(v) for v in kept)
+    if not kept:
+        assert filt.is_empty()
+
+
+@given(
+    members=st.sets(st.integers(min_value=0, max_value=1 << 16), min_size=0, max_size=32)
+)
+def test_counting_bloom_bitmap_agrees_with_codec_encode(members):
+    codec = BloomFilterCodec(size_bytes=32, num_hashes=4)
+    filt = CountingBloomFilter(codec)
+    for vfid in members:
+        filt.add(vfid)
+    assert filt.to_bitmap() == codec.encode(members)
+
+
+# ---------------------------------------------------------------------------
+# Deficit round robin
+# ---------------------------------------------------------------------------
+
+
+@given(
+    backlogs=st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=8),
+    packet_size=st.integers(min_value=64, max_value=1_048),
+)
+@settings(max_examples=50)
+def test_drr_is_work_conserving(backlogs, packet_size):
+    """Every queued packet is eventually served, and no extra selections happen."""
+    drr = DeficitRoundRobin(quantum=1_048)
+    remaining = {qid: count for qid, count in enumerate(backlogs)}
+    for qid in remaining:
+        drr.activate(qid)
+
+    def head_size(qid):
+        return packet_size if remaining.get(qid, 0) > 0 else None
+
+    total = sum(backlogs)
+    served = []
+    for _ in range(total):
+        qid = drr.select(head_size)
+        assert qid is not None
+        remaining[qid] -= 1
+        assert remaining[qid] >= 0
+        served.append(qid)
+    assert drr.select(head_size) is None
+    assert sum(remaining.values()) == 0
+
+
+@given(num_queues=st.integers(min_value=2, max_value=8))
+@settings(max_examples=30)
+def test_drr_fairness_for_backlogged_queues(num_queues):
+    """Continuously-backlogged queues with equal packet sizes get equal service."""
+    drr = DeficitRoundRobin(quantum=1_000)
+    for qid in range(num_queues):
+        drr.activate(qid)
+    counts = {qid: 0 for qid in range(num_queues)}
+    rounds = 40 * num_queues
+    for _ in range(rounds):
+        qid = drr.select(lambda q: 1_000)
+        counts[qid] += 1
+    expected = rounds / num_queues
+    assert all(abs(c - expected) <= 1 for c in counts.values())
+
+
+# ---------------------------------------------------------------------------
+# Physical queue pool
+# ---------------------------------------------------------------------------
+
+
+@given(
+    vfids=st.lists(st.integers(min_value=0, max_value=16_383), min_size=1, max_size=64),
+    num_queues=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=50)
+def test_queue_pool_assign_release_invariants(vfids, num_queues):
+    pool = PhysicalQueuePool(BfcConfig(num_physical_queues=num_queues))
+    assigned = []
+    for vfid in vfids:
+        queue = pool.assign(vfid)
+        assert 0 <= queue < num_queues
+        assigned.append(queue)
+    assert pool.occupied_queues() <= num_queues
+    assert pool.occupied_queues() <= len(vfids)
+    # Collisions happen exactly when demand exceeds the queue count.
+    if len(vfids) <= num_queues:
+        assert pool.stats.collisions == 0
+    for queue in assigned:
+        pool.release(queue)
+    assert pool.occupied_queues() == 0
+    assert pool.free_queues() == num_queues
+
+
+# ---------------------------------------------------------------------------
+# Flow table
+# ---------------------------------------------------------------------------
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=63),   # vfid
+            st.integers(min_value=0, max_value=3),    # ingress
+            st.integers(min_value=0, max_value=3),    # egress
+        ),
+        max_size=120,
+    )
+)
+@settings(max_examples=50)
+def test_flow_table_insert_remove_invariants(operations):
+    table = FlowTable(BfcConfig(num_vfids=64, table_bucket_size=2, overflow_cache_entries=8))
+    live = {}
+    overflowed = 0
+    for vfid, ingress, egress in operations:
+        entry = table.lookup_or_insert(vfid, ingress, egress)
+        if entry is None:
+            overflowed += 1
+            continue
+        live.setdefault((vfid, ingress, egress), entry)
+        assert table.lookup(vfid, ingress, egress) is live[(vfid, ingress, egress)]
+    assert table.active_entries() == len(live)
+    for key, entry in live.items():
+        table.remove(entry)
+        assert table.lookup(*key) is None
+    assert table.active_entries() == 0
+    assert table.stats.cache_overflows == overflowed
+
+
+# ---------------------------------------------------------------------------
+# Shared buffer
+# ---------------------------------------------------------------------------
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=2_000), st.integers(min_value=0, max_value=4)),
+        max_size=100,
+    )
+)
+@settings(max_examples=50)
+def test_shared_buffer_conservation(operations):
+    buffer = SharedBuffer(capacity_bytes=10_000)
+    admitted = []
+    for size, ingress in operations:
+        if buffer.admit(size, ingress):
+            admitted.append((size, ingress))
+        assert 0 <= buffer.used <= buffer.capacity
+        assert buffer.used == sum(buffer.per_ingress.values())
+    for size, ingress in admitted:
+        buffer.release(size, ingress)
+    assert buffer.used == 0
+    assert all(v == 0 for v in buffer.per_ingress.values())
+
+
+# ---------------------------------------------------------------------------
+# Distributions and percentiles
+# ---------------------------------------------------------------------------
+
+
+@given(u=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_distribution_quantile_within_support(u):
+    for dist in (GOOGLE, WEBSEARCH):
+        size = dist.quantile(u)
+        assert 1 <= size <= dist.max_size()
+
+
+@given(
+    a=st.floats(min_value=0, max_value=1, allow_nan=False),
+    b=st.floats(min_value=0, max_value=1, allow_nan=False),
+)
+def test_distribution_quantile_monotone(a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert GOOGLE.quantile(lo) <= GOOGLE.quantile(hi)
+
+
+@given(
+    values=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200),
+    q=st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+def test_percentile_bounded_by_extremes(values, q):
+    result = percentile(values, q)
+    assert min(values) <= result <= max(values)
+    assert not math.isnan(result)
+
+
+@given(vfid_space=st.integers(min_value=1, max_value=1 << 20))
+def test_flow_key_vfid_always_in_range(vfid_space):
+    key = FlowKey(src=1, dst=2, src_port=3, dst_port=4)
+    assert 0 <= key.vfid(vfid_space) < vfid_space

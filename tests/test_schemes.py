@@ -1,0 +1,161 @@
+"""Tests for the scheme registry and its switch/host factories."""
+
+import pytest
+
+from repro.congestion.dcqcn import DcqcnControl, DcqcnWindowedControl
+from repro.congestion.hpcc import HpccControl
+from repro.core.config import BfcConfig
+from repro.core.nic import BfcNicScheduler
+from repro.core.switchlogic import BfcSwitch
+from repro.experiments.schemes import (
+    SCHEMES,
+    SchemeEnvironment,
+    available_schemes,
+    get_scheme,
+)
+from repro.sim import units
+from repro.sim.disciplines import FifoDiscipline, IdealFqDiscipline, SfqDiscipline
+from repro.sim.engine import Simulator
+from repro.sim.host import WindowedCongestionControl
+from repro.sim.port import connect
+
+
+PAPER_SCHEMES = [
+    "BFC",
+    "Ideal-FQ",
+    "DCQCN",
+    "DCQCN+Win",
+    "HPCC",
+    "DCQCN+Win+SFQ",
+    "BFC-VFID",
+    "SFQ+InfBuffer",
+    "BFC-HighPriorityQ",
+    "BFC-BufferOpt",
+]
+
+
+def make_env(sim=None) -> SchemeEnvironment:
+    sim = sim or Simulator(seed=1)
+    return SchemeEnvironment(
+        sim=sim,
+        link_rate_bps=units.gbps(10),
+        link_delay_ns=1_000,
+        base_rtt_ns=8_000,
+        bdp_bytes=12_500,
+        buffer_bytes=200_000,
+        bfc_config=BfcConfig(mtu=1000),
+    )
+
+
+def build_pairing(scheme_name):
+    sim = Simulator(seed=1)
+    env = make_env(sim)
+    spec = get_scheme(scheme_name)
+    switch = spec.switch_factory(env)("sw0", "tor")
+    host = spec.host_factory(env)("h0", 0)
+    connect(host, switch, rate_bps=env.link_rate_bps, delay_ns=env.link_delay_ns)
+    return env, switch, host
+
+
+class TestRegistry:
+    def test_all_paper_schemes_available(self):
+        for scheme in PAPER_SCHEMES:
+            assert scheme in SCHEMES
+
+    def test_available_schemes_listing(self):
+        assert set(available_schemes()) == set(SCHEMES)
+
+    def test_unknown_scheme_raises_with_hint(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scheme("NotAScheme")
+
+    def test_descriptions_present(self):
+        for spec in SCHEMES.values():
+            assert spec.description
+
+    def test_bfc_schemes_flagged(self):
+        assert SCHEMES["BFC"].uses_bfc
+        assert SCHEMES["BFC-VFID"].uses_bfc
+        assert not SCHEMES["DCQCN"].uses_bfc
+
+
+class TestSwitchWiring:
+    def test_dcqcn_switch_uses_fifo_and_ecn(self):
+        _, switch, _ = build_pairing("DCQCN")
+        assert isinstance(switch.interfaces[0].tx.discipline, FifoDiscipline)
+        assert switch.ecn.enabled
+        assert switch.pfc.enabled
+        assert not switch.int_enabled
+
+    def test_hpcc_switch_uses_int_not_ecn(self):
+        _, switch, _ = build_pairing("HPCC")
+        assert switch.int_enabled
+        assert not switch.ecn.enabled
+
+    def test_sfq_switch_has_32_queues(self):
+        _, switch, _ = build_pairing("DCQCN+Win+SFQ")
+        discipline = switch.interfaces[0].tx.discipline
+        assert isinstance(discipline, SfqDiscipline)
+        assert discipline.num_queues == 32
+
+    def test_ideal_fq_switch_has_infinite_buffer_and_no_pfc(self):
+        _, switch, _ = build_pairing("Ideal-FQ")
+        assert isinstance(switch.interfaces[0].tx.discipline, IdealFqDiscipline)
+        assert switch.buffer.capacity > 10**15
+        assert not switch.pfc.enabled
+
+    def test_sfq_infbuffer_switch(self):
+        _, switch, _ = build_pairing("SFQ+InfBuffer")
+        assert isinstance(switch.interfaces[0].tx.discipline, SfqDiscipline)
+        assert switch.buffer.capacity > 10**15
+
+    def test_bfc_switch_type_and_pfc_backstop(self):
+        _, switch, _ = build_pairing("BFC")
+        assert isinstance(switch, BfcSwitch)
+        assert switch.pfc.enabled
+        assert not switch.bfc_config.static_queue_assignment
+
+    def test_bfc_ablation_configs(self):
+        _, vfid_switch, _ = build_pairing("BFC-VFID")
+        assert vfid_switch.bfc_config.static_queue_assignment
+        _, hp_switch, _ = build_pairing("BFC-HighPriorityQ")
+        assert not hp_switch.bfc_config.use_high_priority_queue
+        _, bo_switch, _ = build_pairing("BFC-BufferOpt")
+        assert not bo_switch.bfc_config.limit_resume_rate
+
+    def test_dcqcn_ecn_thresholds_scale_with_bdp(self):
+        env = make_env()
+        ecn = env.ecn()
+        assert ecn.kmin == env.bdp_bytes
+        assert ecn.kmax == 4 * env.bdp_bytes
+
+
+class TestHostWiring:
+    def test_dcqcn_host_cc(self):
+        _, _, host = build_pairing("DCQCN")
+        assert isinstance(host.cc, DcqcnControl)
+        assert not isinstance(host.cc, DcqcnWindowedControl)
+        assert host.config.window_cap_bytes is None
+
+    def test_dcqcn_win_host_has_bdp_window(self):
+        env, _, host = build_pairing("DCQCN+Win")
+        assert isinstance(host.cc, DcqcnWindowedControl)
+
+    def test_hpcc_host_stamps_int(self):
+        _, _, host = build_pairing("HPCC")
+        assert isinstance(host.cc, HpccControl)
+        assert host.config.int_enabled
+
+    def test_ideal_fq_host_windowed(self):
+        _, _, host = build_pairing("Ideal-FQ")
+        assert isinstance(host.cc, WindowedCongestionControl)
+
+    def test_bfc_host_uses_bfc_nic_and_marks_first_packet(self):
+        _, _, host = build_pairing("BFC")
+        assert isinstance(host.nic, BfcNicScheduler)
+        assert host.config.mark_first_packet
+        assert host.config.window_cap_bytes is None
+
+    def test_pfc_scheme_line_rate_host(self):
+        _, _, host = build_pairing("PFC")
+        assert type(host.cc).__name__ == "CongestionControl"

@@ -1,0 +1,181 @@
+"""Unit tests for the metric collectors."""
+
+import pytest
+
+from repro.sim import units
+from repro.sim.stats import (
+    BufferSampler,
+    ByteMeter,
+    Counters,
+    FlowRecord,
+    FlowStats,
+    PauseMeter,
+    QueueSampler,
+    percentile,
+)
+
+
+class TestCounters:
+    def test_incr_and_get(self):
+        counters = Counters()
+        counters.incr("x")
+        counters.incr("x", 4)
+        assert counters.get("x") == 5
+        assert counters.get("missing") == 0
+
+    def test_as_dict_is_a_copy(self):
+        counters = Counters()
+        counters.incr("a")
+        snapshot = counters.as_dict()
+        snapshot["a"] = 99
+        assert counters.get("a") == 1
+
+
+class TestByteMeter:
+    def test_records_split_by_class(self):
+        meter = ByteMeter()
+        meter.record(1_000, is_control=False)
+        meter.record(64, is_control=True)
+        assert meter.data_bytes == 1_000
+        assert meter.control_bytes == 64
+        assert meter.total_bytes() == 1_064
+        assert meter.data_packets == 1
+        assert meter.control_packets == 1
+
+    def test_utilization_full_link(self):
+        meter = ByteMeter()
+        # 10 Gbps for 1 us carries 1250 bytes.
+        meter.record(1_250, is_control=False)
+        util = meter.utilization(units.gbps(10), units.microseconds(1))
+        assert util == pytest.approx(1.0, rel=0.01)
+
+    def test_utilization_excludes_control_by_default(self):
+        meter = ByteMeter()
+        meter.record(625, is_control=False)
+        meter.record(625, is_control=True)
+        util = meter.utilization(units.gbps(10), units.microseconds(1))
+        assert util == pytest.approx(0.5, rel=0.01)
+        util_all = meter.utilization(units.gbps(10), units.microseconds(1), include_control=True)
+        assert util_all == pytest.approx(1.0, rel=0.01)
+
+    def test_utilization_capped_at_one(self):
+        meter = ByteMeter()
+        meter.record(10_000, is_control=False)
+        assert meter.utilization(units.gbps(10), 100) == 1.0
+
+    def test_zero_duration(self):
+        assert ByteMeter().utilization(units.gbps(10), 0) == 0.0
+
+
+class TestPauseMeter:
+    def test_accumulates_paused_time(self):
+        meter = PauseMeter()
+        meter.set_paused(True, 100)
+        meter.set_paused(False, 400)
+        assert meter.paused_time(1_000) == 300
+        assert meter.pause_events == 1
+
+    def test_open_interval_counts_until_now(self):
+        meter = PauseMeter()
+        meter.set_paused(True, 100)
+        assert meter.paused_time(250) == 150
+        assert meter.paused
+
+    def test_redundant_transitions_ignored(self):
+        meter = PauseMeter()
+        meter.set_paused(True, 100)
+        meter.set_paused(True, 200)
+        meter.set_paused(False, 300)
+        meter.set_paused(False, 400)
+        assert meter.paused_time(500) == 200
+        assert meter.pause_events == 1
+
+    def test_paused_fraction(self):
+        meter = PauseMeter()
+        meter.set_paused(True, 0)
+        meter.set_paused(False, 250)
+        assert meter.paused_fraction(1_000) == pytest.approx(0.25)
+
+    def test_fraction_with_zero_window(self):
+        assert PauseMeter().paused_fraction(0) == 0.0
+
+
+class TestSamplers:
+    def test_buffer_sampler_percentiles(self):
+        sampler = BufferSampler()
+        for value in range(1, 101):
+            sampler.record("s1", value * 1_000)
+        assert sampler.max_occupancy() == 100_000
+        assert sampler.percentile(50) == pytest.approx(51_000, rel=0.05)
+        assert "s1" in sampler.per_switch
+
+    def test_empty_buffer_sampler(self):
+        sampler = BufferSampler()
+        assert sampler.max_occupancy() == 0
+        assert sampler.percentile(99) == 0.0
+
+    def test_queue_sampler(self):
+        sampler = QueueSampler()
+        for value in [10, 20, 30, 40]:
+            sampler.record_queue(value)
+        sampler.record_occupied(7)
+        assert sampler.queue_percentile(99) == 40
+        assert sampler.occupied_queues == [7]
+
+
+class TestFlowStats:
+    def _record(self, flow_id, slowdown, incast=False, finished=True):
+        return FlowRecord(
+            flow_id=flow_id,
+            src=0,
+            dst=1,
+            size=1_000,
+            start_ns=0,
+            finish_ns=100 if finished else None,
+            slowdown=slowdown if finished else None,
+            is_incast=incast,
+            tag="normal",
+        )
+
+    def test_completion_rate(self):
+        stats = FlowStats()
+        stats.add(self._record(1, 1.0))
+        stats.add(self._record(2, 2.0, finished=False))
+        assert stats.completion_rate() == pytest.approx(0.5)
+
+    def test_slowdowns_exclude_incast_by_default(self):
+        stats = FlowStats()
+        stats.add(self._record(1, 5.0))
+        stats.add(self._record(2, 50.0, incast=True))
+        assert stats.slowdowns() == [5.0]
+        assert sorted(stats.slowdowns(include_incast=True)) == [5.0, 50.0]
+
+    def test_empty_stats(self):
+        stats = FlowStats()
+        assert stats.completion_rate() == 0.0
+        assert stats.slowdowns() == []
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([42.0], 99) == 42.0
+        assert percentile([42.0], 1) == 42.0
+
+    def test_extremes(self):
+        data = [float(i) for i in range(1, 101)]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 100.0
+
+    def test_median_of_uniform(self):
+        data = [float(i) for i in range(1, 101)]
+        assert percentile(data, 50) == pytest.approx(50.0, abs=1.0)
+
+    def test_p99_of_uniform(self):
+        data = [float(i) for i in range(1, 101)]
+        assert percentile(data, 99) == pytest.approx(99.0, abs=1.0)
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0

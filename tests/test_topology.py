@@ -1,0 +1,190 @@
+"""Tests for the leaf-spine and cross-DC topology builders."""
+
+import pytest
+
+from repro.sim import units
+from repro.sim.disciplines import FifoDiscipline
+from repro.sim.flow import Flow
+from repro.sim.host import Host, HostConfig
+from repro.sim.switch import Switch
+from repro.topology.clos import (
+    ClosParams,
+    build_leaf_spine,
+    paper_t1_params,
+    paper_t2_params,
+    scaled_params,
+)
+from repro.topology.crossdc import CrossDcParams, build_cross_dc
+
+
+def fifo_switch_factory(sim):
+    def factory(name, tier):
+        return Switch(
+            sim,
+            name,
+            buffer_bytes=1_000_000,
+            discipline_factory=lambda iface: FifoDiscipline(),
+        )
+
+    return factory
+
+
+def host_factory(sim, registry):
+    def factory(name, host_id):
+        return Host(sim, name, host_id, config=HostConfig(), flow_registry=registry)
+
+    return factory
+
+
+def build(sim, params):
+    registry = {}
+    return build_leaf_spine(
+        sim, params, fifo_switch_factory(sim), host_factory(sim, registry)
+    )
+
+
+class TestClosParams:
+    def test_paper_t1_shape(self):
+        params = paper_t1_params()
+        assert params.num_hosts == 128
+        assert params.num_tors == 8
+        assert params.num_spines == 8
+        assert params.oversubscription() == pytest.approx(2.0)
+        assert params.base_rtt_ns() == 8_000
+
+    def test_paper_t2_shape(self):
+        params = paper_t2_params()
+        assert params.num_hosts == 64
+        assert params.num_tors == 4
+        assert params.oversubscription() == pytest.approx(2.0)
+
+    def test_t1_bdp_is_100kb(self):
+        assert paper_t1_params().bdp_bytes() == pytest.approx(100_000, rel=0.01)
+
+    def test_scaled_keeps_oversubscription(self):
+        assert scaled_params().oversubscription() == pytest.approx(2.0)
+
+
+class TestLeafSpineBuilder:
+    @pytest.fixture
+    def topo(self, sim):
+        return build(sim, ClosParams(num_tors=2, hosts_per_tor=4, num_spines=2,
+                                     link_rate_bps=units.gbps(10), link_delay_ns=1_000))
+
+    def test_node_counts(self, topo):
+        assert len(topo.hosts) == 8
+        assert len(topo.switches_in_tier("tor")) == 2
+        assert len(topo.switches_in_tier("spine")) == 2
+
+    def test_every_host_has_a_tor(self, topo):
+        for host_id in topo.host_ids():
+            tor = topo.tor_switch_of(host_id)
+            assert tor is not None
+            assert topo.tor_of_host[host_id] == tor.name
+
+    def test_tor_routes_cover_all_hosts(self, topo):
+        for tor in topo.switches_in_tier("tor"):
+            assert set(tor.routes) == set(topo.host_ids())
+
+    def test_spine_routes_are_single_path(self, topo):
+        for spine in topo.switches_in_tier("spine"):
+            for host_id, choices in spine.routes.items():
+                assert len(choices) == 1
+
+    def test_tor_uses_ecmp_for_remote_hosts(self, topo):
+        tor = topo.switches_in_tier("tor")[0]
+        local = {h for h, name in topo.tor_of_host.items() if name == tor.name}
+        remote = set(topo.host_ids()) - local
+        for host_id in remote:
+            assert len(tor.routes[host_id]) == 2  # one per spine
+        for host_id in local:
+            assert len(tor.routes[host_id]) == 1
+
+    def test_same_rack_delay(self, topo):
+        hosts = [h for h, name in topo.tor_of_host.items() if name == "tor0"]
+        assert topo.one_way_delay_ns(hosts[0], hosts[1]) == 2_000
+
+    def test_cross_rack_delay(self, topo):
+        tor0_host = next(h for h, n in topo.tor_of_host.items() if n == "tor0")
+        tor1_host = next(h for h, n in topo.tor_of_host.items() if n == "tor1")
+        assert topo.one_way_delay_ns(tor0_host, tor1_host) == 4_000
+        assert topo.base_rtt_ns(tor0_host, tor1_host) == 8_000
+
+    def test_packets_actually_reach_any_destination(self, sim, topo):
+        # End-to-end sanity: a flow between every pair of racks completes.
+        src = 0
+        for dst in (1, 4, 7):
+            flow = Flow(src=src, dst=dst, size=2_000, start_ns=0, src_port=dst)
+            topo.start_flow(flow)
+        sim.run(until=units.microseconds(200))
+        assert all(f.completed for f in topo.flow_registry.values())
+
+    def test_start_flows_batch(self, sim, topo):
+        flows = [Flow(src=0, dst=5, size=1_000, start_ns=i * 1_000) for i in range(3)]
+        topo.start_flows(flows)
+        sim.run(until=units.microseconds(100))
+        assert all(f.completed for f in flows)
+
+    def test_buffer_occupancy_helpers(self, topo):
+        assert topo.total_buffer_occupancy() == 0
+        assert topo.max_buffer_occupancy() == 0
+        assert topo.total_dropped_packets() == 0
+
+
+class TestCrossDcBuilder:
+    @pytest.fixture
+    def topo(self, sim):
+        registry = {}
+        params = CrossDcParams(
+            dc_params=ClosParams(
+                num_tors=2, hosts_per_tor=2, num_spines=2,
+                link_rate_bps=units.gbps(10), link_delay_ns=1_000,
+            ),
+            gateway_link_rate_bps=units.gbps(10),
+            gateway_delay_ns=50_000,
+        )
+        return build_cross_dc(
+            sim, params, fifo_switch_factory(sim), host_factory(sim, registry)
+        )
+
+    def test_two_dcs_and_gateways(self, topo):
+        assert len(topo.hosts) == 8
+        assert len(topo.switches_in_tier("gateway")) == 2
+        assert {topo.dc_of_host[h] for h in topo.host_ids()} == {0, 1}
+
+    def test_intra_dc_delay_unchanged(self, topo):
+        dc0 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 0]
+        assert topo.one_way_delay_ns(dc0[0], dc0[-1]) in (2_000, 4_000)
+
+    def test_inter_dc_delay_includes_gateway_link(self, topo):
+        dc0 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 0]
+        dc1 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 1]
+        delay = topo.one_way_delay_ns(dc0[0], dc1[0])
+        assert delay > 50_000
+
+    def test_intra_dc_flow_completes(self, sim, topo):
+        dc0 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 0]
+        flow = Flow(src=dc0[0], dst=dc0[-1], size=5_000, start_ns=0)
+        topo.start_flow(flow)
+        sim.run(until=units.microseconds(500))
+        assert flow.completed
+
+    def test_inter_dc_flow_completes(self, sim, topo):
+        dc0 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 0]
+        dc1 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 1]
+        flow = Flow(src=dc0[0], dst=dc1[-1], size=5_000, start_ns=0)
+        topo.start_flow(flow)
+        sim.run(until=units.milliseconds(1))
+        assert flow.completed
+
+    def test_reverse_direction_inter_dc_flow(self, sim, topo):
+        dc0 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 0]
+        dc1 = [h for h in topo.host_ids() if topo.dc_of_host[h] == 1]
+        flow = Flow(src=dc1[0], dst=dc0[0], size=5_000, start_ns=0)
+        topo.start_flow(flow)
+        sim.run(until=units.milliseconds(1))
+        assert flow.completed
+
+    def test_gateway_routes_cover_all_hosts(self, topo):
+        for gateway in topo.switches_in_tier("gateway"):
+            assert set(gateway.routes) == set(topo.host_ids())

@@ -1,0 +1,80 @@
+"""Unit tests for repro.sim.units."""
+
+import pytest
+
+from repro.sim import units
+
+
+class TestTimeConversions:
+    def test_microseconds(self):
+        assert units.microseconds(1) == 1_000
+        assert units.microseconds(2.5) == 2_500
+
+    def test_milliseconds(self):
+        assert units.milliseconds(1) == 1_000_000
+        assert units.milliseconds(0.5) == 500_000
+
+    def test_seconds(self):
+        assert units.seconds(1) == 1_000_000_000
+
+    def test_nanoseconds_rounds(self):
+        assert units.nanoseconds(1.4) == 1
+        assert units.nanoseconds(1.6) == 2
+
+    def test_to_microseconds_roundtrip(self):
+        assert units.to_microseconds(units.microseconds(12.5)) == pytest.approx(12.5)
+
+    def test_to_seconds(self):
+        assert units.to_seconds(units.seconds(2)) == pytest.approx(2.0)
+
+
+class TestRateConversions:
+    def test_gbps(self):
+        assert units.gbps(100) == pytest.approx(100e9)
+
+    def test_mbps(self):
+        assert units.mbps(40) == pytest.approx(40e6)
+
+    def test_to_gbps_roundtrip(self):
+        assert units.to_gbps(units.gbps(25)) == pytest.approx(25)
+
+
+class TestSizeConversions:
+    def test_kilobytes(self):
+        assert units.kilobytes(1) == 1_000
+
+    def test_megabytes(self):
+        assert units.megabytes(12) == 12_000_000
+
+    def test_to_megabytes(self):
+        assert units.to_megabytes(units.megabytes(3)) == pytest.approx(3.0)
+
+
+class TestDerivedQuantities:
+    def test_transmission_time_1kb_at_100g(self):
+        # 1000 bytes at 100 Gbps = 80 ns
+        assert units.transmission_time_ns(1000, units.gbps(100)) == 80
+
+    def test_transmission_time_1kb_at_10g(self):
+        assert units.transmission_time_ns(1000, units.gbps(10)) == 800
+
+    def test_transmission_time_minimum_one_ns(self):
+        assert units.transmission_time_ns(0, units.gbps(100)) == 1
+
+    def test_transmission_time_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time_ns(1000, 0)
+
+    def test_bandwidth_delay_product_paper_value(self):
+        # The paper: 100 Gbps link, 12 us RTT -> 150 KB in flight.
+        bdp = units.bandwidth_delay_product(units.gbps(100), units.microseconds(12))
+        assert bdp == pytest.approx(150_000, rel=0.01)
+
+    def test_bdp_8us_at_100g(self):
+        bdp = units.bandwidth_delay_product(units.gbps(100), units.microseconds(8))
+        assert bdp == pytest.approx(100_000, rel=0.01)
+
+    def test_bytes_in_flight_scales_linearly(self):
+        one = units.bytes_in_flight(units.gbps(10), 1_000)
+        two = units.bytes_in_flight(units.gbps(10), 2_000)
+        assert two == pytest.approx(2 * one, abs=1)
