@@ -6,10 +6,18 @@ Each benchmark regenerates one table/figure of the paper at a reduced scale
 against the paper, and key numbers are attached to the pytest-benchmark
 ``extra_info`` of each run.
 
+Running the configs goes through :class:`repro.campaign.Campaign`, so a
+figure's schemes can execute across a process pool: set
+``REPRO_BENCH_WORKERS=4`` to cut the wall-clock of multi-config figures to
+roughly the slowest single config.  Results are bit-identical to the serial
+path (each trial is deterministic in its config and seed).
+
 Environment variables
 ---------------------
 REPRO_BENCH_SCALE
     "tiny" (default), "small" or "paper" — passed to the scenario factories.
+REPRO_BENCH_WORKERS
+    Process-pool size for running a figure's configs (default 1 = serial).
 """
 
 from __future__ import annotations
@@ -20,7 +28,8 @@ from typing import Dict
 
 import pytest
 
-from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.campaign import Campaign
+from repro.experiments.runner import ExperimentConfig, ExperimentResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -30,8 +39,29 @@ def bench_scale() -> str:
 
 
 def run_config_map(configs: Dict[str, ExperimentConfig]) -> Dict[str, ExperimentResult]:
-    """Run every configuration in a {label: config} mapping."""
-    return {label: run_experiment(config) for label, config in configs.items()}
+    """Run every configuration in a {label: config} mapping.
+
+    Nested mappings (e.g. ``{scheme: {fan_in: config}}``) are accepted too;
+    their labels flatten to ``"scheme/fan_in"``.  Campaign.run() consults
+    ``REPRO_BENCH_WORKERS`` itself, so the env var fans the runs out over
+    processes.
+    """
+    return Campaign.from_configs("bench", configs).run().experiment_results_by_label()
+
+
+def run_nested_config_map(
+    configs: Dict[str, Dict[int, ExperimentConfig]]
+) -> Dict[str, Dict[int, ExperimentResult]]:
+    """Run a {scheme: {int_key: config}} sweep, preserving the nested shape.
+
+    The flat campaign labels are "scheme/key"; this regroups them with the
+    integer keys restored.
+    """
+    nested: Dict[str, Dict[int, ExperimentResult]] = {}
+    for label, result in run_config_map(configs).items():
+        scheme, key = label.rsplit("/", 1)
+        nested.setdefault(scheme, {})[int(key)] = result
+    return nested
 
 
 def write_result(name: str, text: str) -> Path:

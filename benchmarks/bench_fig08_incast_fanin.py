@@ -5,25 +5,17 @@ builds deeper buffers, while BFC keeps utilization close to 100% with lower
 tail buffer occupancy.
 """
 
-from _bench_common import bench_scale, write_result
+from _bench_common import bench_scale, run_nested_config_map, write_result
 
 from repro.analysis.report import format_comparison_table
-from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import fig8_configs
 
 SCHEMES = ("BFC", "DCQCN+Win")
 
 
-def run_sweep(configs):
-    return {
-        scheme: {fan_in: run_experiment(config) for fan_in, config in sweep.items()}
-        for scheme, sweep in configs.items()
-    }
-
-
 def test_fig08_incast_fan_in_sweep(benchmark):
     configs = fig8_configs(bench_scale(), schemes=SCHEMES)
-    results = benchmark.pedantic(run_sweep, args=(configs,), rounds=1, iterations=1)
+    results = benchmark.pedantic(run_nested_config_map, args=(configs,), rounds=1, iterations=1)
 
     fan_ins = sorted(next(iter(results.values())).keys())
     util_rows = {

@@ -6,26 +6,18 @@ flows share the queue, whereas BFC-BufferOpt (no limit) lets the backlog grow
 roughly linearly with the number of concurrent flows.
 """
 
-from _bench_common import bench_scale, write_result
+from _bench_common import bench_scale, run_nested_config_map, write_result
 
 from repro.analysis.report import format_comparison_table
-from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import fig10_configs, get_scale
 
 SCHEMES = ("BFC", "BFC-BufferOpt")
 FLOW_COUNTS = (8, 32, 128)
 
 
-def run_sweep(configs):
-    return {
-        scheme: {count: run_experiment(config) for count, config in sweep.items()}
-        for scheme, sweep in configs.items()
-    }
-
-
 def test_fig10_physical_queue_size_vs_concurrent_flows(benchmark):
     configs = fig10_configs(bench_scale(), schemes=SCHEMES, flow_counts=FLOW_COUNTS)
-    results = benchmark.pedantic(run_sweep, args=(configs,), rounds=1, iterations=1)
+    results = benchmark.pedantic(run_nested_config_map, args=(configs,), rounds=1, iterations=1)
 
     rows = {
         scheme: {

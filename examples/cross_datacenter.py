@@ -4,12 +4,13 @@
 Reproduces the spirit of the paper's Fig. 9 as a runnable example: two
 leaf-spine data centers are connected through gateway switches over a
 high-bandwidth link with a large propagation delay; 20% of the FB_Hadoop
-flows cross between the data centers.  The script reports tail latency for
-intra- and inter-DC flows under BFC and DCQCN+Win.
+flows cross between the data centers.  The per-scheme runs execute as one
+campaign (pass a worker count to run them in parallel) and the script reports
+tail latency for intra- and inter-DC flows under BFC and DCQCN+Win.
 
 Run with::
 
-    python examples/cross_datacenter.py [tiny|small]
+    python examples/cross_datacenter.py [tiny|small] [workers]
 """
 
 from __future__ import annotations
@@ -18,18 +19,18 @@ import sys
 
 from repro.analysis.fct import summarize_slowdowns
 from repro.analysis.report import format_comparison_table
-from repro.experiments.runner import run_experiment
-from repro.experiments.scenarios import fig9_configs
+from repro.experiments.scenarios import fig9_campaign
 
 
 def main() -> int:
     scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     schemes = ("BFC", "DCQCN+Win")
-    print(f"Cross-DC experiment at scale {scale!r} for {schemes} ...")
+    print(f"Cross-DC experiment at scale {scale!r} for {schemes} (workers={workers}) ...")
 
+    result_set = fig9_campaign(scale, schemes=schemes).run(workers=workers)
     rows = {}
-    for scheme, config in fig9_configs(scale, schemes=schemes).items():
-        result = run_experiment(config)
+    for scheme, result in result_set.experiment_results_by_label().items():
         intra = [r for r in result.flow_stats.records if r.tag == "intra-dc"]
         inter = [r for r in result.flow_stats.records if r.tag == "inter-dc"]
         intra_stats = summarize_slowdowns(intra)

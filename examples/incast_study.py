@@ -3,13 +3,14 @@
 
 Reproduces the spirit of the paper's Fig. 8 as a runnable example: every
 receiver has a handful of long-lived flows, a periodic N-to-1 incast of fixed
-aggregate size disturbs the fabric, and the fan-in N is swept.  The script
-reports, per scheme and fan-in, the mean receiver utilization and the
-99th-percentile switch buffer occupancy.
+aggregate size disturbs the fabric, and the fan-in N is swept.  The sweep runs
+as a campaign (pass a worker count to fan the trials out over processes) and
+the script reports, per scheme and fan-in, the mean receiver utilization and
+the 99th-percentile switch buffer occupancy.
 
 Run with::
 
-    python examples/incast_study.py [tiny|small]
+    python examples/incast_study.py [tiny|small] [workers]
 """
 
 from __future__ import annotations
@@ -17,36 +18,37 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.report import format_comparison_table
-from repro.experiments.runner import run_experiment
-from repro.experiments.scenarios import fig8_configs
+from repro.experiments.scenarios import fig8_campaign
 
 
 def main() -> int:
     scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     schemes = ("BFC", "DCQCN+Win")
-    print(f"Incast fan-in sweep at scale {scale!r} for {schemes} ...")
+    print(f"Incast fan-in sweep at scale {scale!r} for {schemes} (workers={workers}) ...")
 
-    configs = fig8_configs(scale, schemes=schemes)
+    # Only the tidy records are read below, so skip retaining (and, with
+    # workers > 1, shipping) the full per-trial results.
+    result_set = fig8_campaign(scale, schemes=schemes).run(
+        workers=workers, keep_results=False
+    )
+    # Labels are "scheme/fan_in" (the nested config map, flattened).
     utilization = {}
     tail_buffer = {}
-    for scheme, sweep in configs.items():
-        utilization[scheme] = {}
-        tail_buffer[scheme] = {}
-        for fan_in, config in sweep.items():
-            result = run_experiment(config)
-            utilization[scheme][str(fan_in)] = result.mean_utilization()
-            tail_buffer[scheme][str(fan_in)] = (
-                result.buffer_sampler.percentile(99) / 1e6
-            )
-            print(
-                f"  {scheme:<10s} fan-in={fan_in:<4d} "
-                f"utilization={result.mean_utilization():5.2f}  "
-                f"p99 buffer={result.buffer_sampler.percentile(99) / 1e3:7.1f} KB  "
-                f"drops={result.dropped_packets}"
-            )
+    for record in result_set:
+        scheme, fan_in = record.label.rsplit("/", 1)
+        utilization.setdefault(scheme, {})[fan_in] = record.metrics["mean_utilization"]
+        tail_buffer.setdefault(scheme, {})[fan_in] = (
+            record.metrics["p99_buffer_bytes"] / 1e6
+        )
+        print(
+            f"  {scheme:<10s} fan-in={fan_in:<4s} "
+            f"utilization={record.metrics['mean_utilization']:5.2f}  "
+            f"p99 buffer={record.metrics['p99_buffer_bytes'] / 1e3:7.1f} KB  "
+            f"drops={int(record.metrics['dropped_packets'])}"
+        )
 
-    fan_ins = sorted(next(iter(configs.values())).keys())
-    columns = [str(f) for f in fan_ins]
+    columns = sorted(next(iter(utilization.values())).keys(), key=int)
     print()
     print(format_comparison_table("Mean receiver utilization vs fan-in", utilization, columns))
     print(format_comparison_table("p99 buffer occupancy (MB) vs fan-in", tail_buffer, columns))

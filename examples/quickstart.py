@@ -3,14 +3,14 @@
 
 This is the smallest end-to-end use of the library's public API:
 
-1. pick a scale preset (topology + trace sizing),
-2. build per-scheme experiment configurations for the paper's headline
-   workload (Google flow sizes, 60% load + 5% incast),
-3. run them and print the tail-latency comparison.
+1. declare a campaign over the paper's headline workload (Fig. 5a: Google
+   flow sizes, 60% load + 5% incast) restricted to a few schemes,
+2. run it — serially, or across a process pool with ``workers > 1``,
+3. print the tail-latency comparison from the returned result set.
 
 Run with::
 
-    python examples/quickstart.py [tiny|small]
+    python examples/quickstart.py [tiny|small] [workers]
 """
 
 from __future__ import annotations
@@ -18,26 +18,28 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.report import format_series_table
-from repro.experiments.runner import run_experiment
-from repro.experiments.scenarios import fig5a_configs
+from repro.experiments.scenarios import fig5a_campaign
 
 
 def main() -> int:
     scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     schemes = ["BFC", "DCQCN", "DCQCN+Win", "Ideal-FQ"]
-    print(f"Running the Fig. 5a workload at scale {scale!r} for {schemes} ...")
+    print(
+        f"Running the Fig. 5a workload at scale {scale!r} for {schemes} "
+        f"(workers={workers}) ..."
+    )
 
-    configs = fig5a_configs(scale, schemes=schemes)
-    results = {}
-    for scheme, config in configs.items():
-        result = run_experiment(config)
-        results[scheme] = result
+    result_set = fig5a_campaign(scale, schemes=schemes).run(workers=workers)
+    results = result_set.experiment_results_by_label()
+    for record in result_set:
         print(
-            f"  {scheme:<10s} flows={result.flows_offered:5d} "
-            f"completed={100 * result.completion_rate():5.1f}%  "
-            f"p99 slowdown={result.p99_slowdown():7.2f}  "
-            f"drops={result.dropped_packets:4d}  "
-            f"({result.wall_seconds:.1f}s wall, {result.events_processed} events)"
+            f"  {record.label:<10s} flows={int(record.metrics['flows_offered']):5d} "
+            f"completed={100 * record.metrics['completion_rate']:5.1f}%  "
+            f"p99 slowdown={record.metrics['p99_slowdown']:7.2f}  "
+            f"drops={int(record.metrics['dropped_packets']):4d}  "
+            f"({record.wall_seconds:.1f}s wall, "
+            f"{int(record.metrics['events_processed'])} events)"
         )
 
     table = format_series_table(
@@ -47,11 +49,13 @@ def main() -> int:
     print()
     print(table)
 
-    bfc, dcqcn = results["BFC"], results["DCQCN"]
+    tails = result_set.p99_slowdown_by("scheme")
+    bfc_drops = int(result_set.record("fig5a/BFC").metrics["dropped_packets"])
+    dcqcn_drops = int(result_set.record("fig5a/DCQCN").metrics["dropped_packets"])
     print(
-        f"BFC cuts the overall p99 slowdown from {dcqcn.p99_slowdown():.1f}x "
-        f"to {bfc.p99_slowdown():.1f}x while dropping "
-        f"{bfc.dropped_packets} packets (DCQCN dropped {dcqcn.dropped_packets})."
+        f"BFC cuts the overall p99 slowdown from {tails['DCQCN']:.1f}x "
+        f"to {tails['BFC']:.1f}x while dropping "
+        f"{bfc_drops} packets (DCQCN dropped {dcqcn_drops})."
     )
     return 0
 

@@ -6,9 +6,13 @@ ablation variants (BFC-VFID, BFC-HighPriorityQ, BFC-BufferOpt, SFQ+InfBuffer,
 plain PFC) — on the same trace and prints a per-flow-size tail-latency table
 together with buffer / pause / collision summaries.
 
+The whole grid is one declarative :class:`repro.campaign.Campaign`; because
+every registered scheme appears as one trial, this is also where a
+third-party scheme added with ``@register_scheme`` shows up automatically.
+
 Run with::
 
-    python examples/scheme_comparison.py [tiny|small] [google|fb_hadoop|websearch]
+    python examples/scheme_comparison.py [tiny|small] [google|fb_hadoop|websearch] [workers]
 """
 
 from __future__ import annotations
@@ -16,50 +20,32 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.report import format_comparison_table, format_series_table
-from repro.experiments.runner import TrafficSpec, run_experiment
+from repro.campaign import Campaign
 from repro.experiments.schemes import available_schemes
-from repro.experiments.scenarios import get_scale, _base_config
-from repro.workloads.distributions import WORKLOADS
-from repro.workloads.generator import WorkloadSpec
-
-
-def build_configs(scale_name: str, workload_name: str):
-    scale = get_scale(scale_name)
-    distribution = WORKLOADS[workload_name]
-    traffic = TrafficSpec(
-        workload=WorkloadSpec(
-            distribution=distribution,
-            target_load=0.6,
-            duration_ns=scale.duration_ns,
-            max_flow_size=scale.max_flow_size,
-        ),
-        incast_load=0.05,
-        incast_fan_in=scale.clamp_fan_in(),
-        incast_aggregate_bytes=scale.incast_aggregate_bytes,
-    )
-    return {
-        scheme: _base_config(f"compare/{scheme}", scheme, scale, traffic)
-        for scheme in available_schemes()
-    }
 
 
 def main() -> int:
     scale_name = sys.argv[1] if len(sys.argv) > 1 else "tiny"
     workload_name = sys.argv[2] if len(sys.argv) > 2 else "google"
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 1
     print(
         f"Comparing {len(available_schemes())} schemes on the "
-        f"{workload_name!r} workload at scale {scale_name!r} ..."
+        f"{workload_name!r} workload at scale {scale_name!r} (workers={workers}) ..."
     )
 
-    results = {}
-    for scheme, config in build_configs(scale_name, workload_name).items():
-        result = run_experiment(config)
-        results[scheme] = result
+    result_set = (
+        Campaign("compare", scale=scale_name, workload=workload_name)
+        .schemes(*available_schemes())
+        .fixed(load=0.6, incast=0.05)
+        .run(workers=workers)
+    )
+    results = result_set.experiment_results_by_label()
+    for record in result_set:
         print(
-            f"  {scheme:<18s} p99={result.p99_slowdown():7.2f}  "
-            f"mean={result.mean_slowdown():5.2f}  "
-            f"drops={result.dropped_packets:4d}  "
-            f"completed={100 * result.completion_rate():5.1f}%"
+            f"  {record.label:<18s} p99={record.metrics['p99_slowdown']:7.2f}  "
+            f"mean={record.metrics['mean_slowdown']:5.2f}  "
+            f"drops={int(record.metrics['dropped_packets']):4d}  "
+            f"completed={100 * record.metrics['completion_rate']:5.1f}%"
         )
 
     print()
@@ -71,14 +57,13 @@ def main() -> int:
     )
 
     summary_rows = {}
-    for scheme, result in results.items():
-        pause = result.pause_fraction_by_class()
-        summary_rows[scheme] = {
-            "p99 slowdown": result.p99_slowdown(),
-            "p99 buffer (KB)": result.buffer_sampler.percentile(99) / 1e3,
-            "PFC pause %": 100 * max(pause.values()) if pause else 0.0,
-            "collision %": 100 * (result.collision_fraction or 0.0),
-            "drops": float(result.dropped_packets),
+    for record in result_set:
+        summary_rows[record.label] = {
+            "p99 slowdown": record.metrics["p99_slowdown"],
+            "p99 buffer (KB)": record.metrics["p99_buffer_bytes"] / 1e3,
+            "PFC pause %": 100 * record.metrics["max_pfc_pause_fraction"],
+            "collision %": 100 * record.metrics["collision_fraction"],
+            "drops": record.metrics["dropped_packets"],
         }
     print(
         format_comparison_table(

@@ -6,7 +6,10 @@ Prints, for each of the three workloads (Google, FB_Hadoop, WebSearch):
 * basic statistics (mean size, share of flows below 1 KB and one BDP),
 * the byte-weighted CDF from the paper's Fig. 4,
 * the arrival rate needed to hit a target load on a chosen fabric, and a
-  sample synthetic trace summary.
+  sample synthetic trace summary,
+
+and finally shows how the workloads slot into a declarative campaign grid
+(expansion only — nothing is simulated).
 
 Run with::
 
@@ -19,6 +22,7 @@ import random
 import sys
 
 from repro.analysis.report import render_cdf_table
+from repro.campaign import Campaign
 from repro.sim import units
 from repro.workloads.distributions import WORKLOADS, byte_weighted_cdf
 from repro.workloads.generator import WorkloadSpec, generate_workload, load_to_arrival_rate
@@ -70,6 +74,27 @@ def main() -> int:
         "flows that fit within a single BDP — the regime in which the paper "
         "argues end-to-end congestion control runs out of room to react."
     )
+
+    # The same distributions drive the campaign grid: one axis of the sweep.
+    campaign = (
+        Campaign("explore")
+        .schemes("BFC", "DCQCN")
+        .sweep(workload=sorted(WORKLOADS), load=[0.6, 0.8])
+        .repeats(2)
+    )
+    trials = campaign.trials()
+    print()
+    print(
+        f"A campaign over these workloads "
+        f"({{2 schemes}} x {{{len(WORKLOADS)} workloads}} x {{2 loads}} x {{2 repeats}}) "
+        f"expands to {len(trials)} named trials, e.g.:"
+    )
+    for trial in trials[:4]:
+        print(f"  {trial.name}  (seed={trial.seed})")
+    print("  ...")
+    print("Run the single-workload slices with: repro campaign --schemes BFC DCQCN "
+          "--workload fb_hadoop --load 0.6 0.8 --repeats 2 --workers 4")
+    print("(the workload axis itself is swept via the Python API, as above)")
     return 0
 
 

@@ -1,11 +1,46 @@
-"""Setuptools shim.
+"""Package metadata and console entry point for the BFC reproduction."""
 
-The canonical project metadata lives in pyproject.toml; this file exists so
-the package can be installed in editable mode on minimal environments that
-lack the ``wheel`` package (pip falls back to the legacy ``setup.py develop``
-path when PEP 660 editable wheels cannot be built).
-"""
+import re
+from pathlib import Path
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+# Single source of truth for the version: repro.__version__.
+_init = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(
+    encoding="utf-8"
+)
+VERSION = re.search(r'__version__ = "([^"]+)"', _init).group(1)
+
+setup(
+    name="repro-bfc",
+    version=VERSION,
+    description=(
+        "Pure-Python reproduction of 'Backpressure Flow Control' "
+        "(Goyal et al., NSDI 2022): packet-level simulator, BFC and baseline "
+        "schemes, and a declarative campaign runner"
+    ),
+    long_description=(
+        "A from-scratch packet-level discrete-event simulator plus the BFC "
+        "switch/NIC logic, DCQCN/HPCC baselines, the paper's topologies and "
+        "workloads, and a campaign layer that expands {scheme x sweep x "
+        "repeats} grids and runs them serially or across a process pool."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Networking",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -13,23 +13,42 @@ in pure Python:
 * :mod:`repro.topology` — leaf-spine (T1/T2) and cross-data-center fabrics.
 * :mod:`repro.workloads` — Google / FB_Hadoop / WebSearch traces, incast.
 * :mod:`repro.analysis` — FCT slowdown, buffer occupancy and pause analysis.
-* :mod:`repro.experiments` — the scheme registry, runner and per-figure
-  scenarios used by the benchmark harness.
+* :mod:`repro.experiments` — the pluggable scheme registry
+  (``@register_scheme``), the single-run experiment runner and the
+  per-figure scenarios.
+* :mod:`repro.campaign` — the high-level API: declarative campaigns
+  ({scheme x sweep x repeats} grids) run through serial or process-pool
+  executors into tidy, JSONL-persistable result sets.
 
 Quickstart::
 
-    from repro.experiments import run_experiment
-    from repro.experiments.scenarios import fig5a_configs
+    from repro.campaign import Campaign
 
-    configs = fig5a_configs("tiny", schemes=["BFC", "DCQCN"])
-    for scheme, config in configs.items():
-        result = run_experiment(config)
-        print(scheme, result.p99_slowdown())
+    results = (
+        Campaign("demo")
+        .schemes("BFC", "DCQCN")
+        .sweep(load=[0.6, 0.8])
+        .repeats(2)
+        .run(workers=4)          # process pool; same records as serial
+    )
+    print(results.p99_slowdown_by("scheme", "load"))
+    results.save("demo.jsonl")   # tidy per-trial records, reload anytime
+
+The paper's figures are ready-made campaigns::
+
+    from repro.experiments.scenarios import fig5a_campaign
+
+    result_set = fig5a_campaign("tiny", schemes=["BFC", "DCQCN"]).run()
+    for record in result_set:
+        print(record.label, record.metrics["p99_slowdown"])
+
+Single runs remain available one level down via
+:func:`repro.experiments.run_experiment`.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analysis, congestion, core, experiments, sim, topology, workloads
+from . import analysis, campaign, congestion, core, experiments, sim, topology, workloads
 
 __all__ = [
     "__version__",
@@ -40,4 +59,5 @@ __all__ = [
     "workloads",
     "analysis",
     "experiments",
+    "campaign",
 ]

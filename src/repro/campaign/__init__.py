@@ -1,0 +1,38 @@
+"""Declarative experiment campaigns: grids of runs, executors, tidy results.
+
+This is the public high-level API of the reproduction.  A campaign expands a
+{scheme x sweep x repeats} grid into named trials, runs them through a
+pluggable executor (serial, or a process pool for CPU-bound fan-out) and
+returns a :class:`ResultSet` of tidy per-trial records with aggregation
+helpers and JSONL persistence.  See :mod:`repro.campaign.core` for examples.
+"""
+
+from .core import Campaign, Trial
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    WORKERS_ENV,
+    default_workers,
+    execute_trial,
+    execute_trial_record_only,
+    make_executor,
+)
+from .results import CampaignError, ResultSet, TrialRecord, summarize_result
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "Trial",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "WORKERS_ENV",
+    "default_workers",
+    "execute_trial",
+    "execute_trial_record_only",
+    "make_executor",
+    "ResultSet",
+    "TrialRecord",
+    "summarize_result",
+]

@@ -1,0 +1,190 @@
+"""Trial executors: run a list of trials serially or across processes.
+
+The simulator is pure Python and single-threaded, and the trials of a
+campaign are independent (each builds its own :class:`Simulator` from its own
+seed), so a campaign is embarrassingly parallel.  ``ParallelExecutor`` fans
+trials out over a :class:`concurrent.futures.ProcessPoolExecutor`; because
+every trial is deterministic in its config and seed, the parallel path
+produces records bit-identical to ``SerialExecutor``, just faster.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from .results import CampaignError, TrialRecord, summarize_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentResult
+
+    from .core import Trial
+
+#: Environment variable consulted for the default worker count.
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+
+def _env_workers() -> Optional[int]:
+    """Worker count from ``REPRO_BENCH_WORKERS``, or None when unset.
+
+    An unparseable value raises rather than silently falling back — the two
+    fallbacks differ (serial for Campaign.run, CPU count for a bare
+    ParallelExecutor), so a typo would otherwise mean different things in
+    different code paths and the user would never learn why.
+    """
+    value = os.environ.get(WORKERS_ENV, "").strip()
+    if not value:
+        return None
+    try:
+        return max(1, int(value))
+    except ValueError:
+        raise CampaignError(
+            f"{WORKERS_ENV} must be an integer, got {value!r}"
+        ) from None
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS``, else 1 (serial)."""
+    return _env_workers() or 1
+
+
+def execute_trial(trial: "Trial") -> Tuple[TrialRecord, "ExperimentResult"]:
+    """Run one trial and summarize it (module-level so process pools can pickle it)."""
+    from repro.experiments.runner import run_experiment
+
+    started = time.monotonic()
+    result = run_experiment(trial.config)
+    record = TrialRecord(
+        name=trial.name,
+        label=trial.label,
+        scheme=trial.scheme,
+        params=dict(trial.params),
+        repeat=trial.repeat,
+        seed=trial.seed,
+        metrics=summarize_result(result),
+        wall_seconds=time.monotonic() - started,
+    )
+    return record, result
+
+
+def execute_trial_record_only(trial: "Trial") -> Tuple[TrialRecord, None]:
+    """Like :func:`execute_trial` but drop the full result inside the worker.
+
+    The complete :class:`ExperimentResult` (per-flow records, sampler arrays)
+    can dwarf the tidy record; for record-only consumers this keeps it out of
+    the process-pool pipe and out of resident memory.
+    """
+    record, _ = execute_trial(trial)
+    return record, None
+
+
+class Executor:
+    """Strategy for running the trials of a campaign.
+
+    Subclasses implement :meth:`run` and must preserve trial order and
+    determinism: the returned list is parallel to the input and contains, for
+    each trial, its record and full experiment result (``None`` with
+    ``records_only``, which skips materializing the result past the worker).
+
+    ``workers`` is part of the contract: ``Campaign.run`` sizes its
+    incremental-persistence waves to it, so an executor that parallelizes
+    internally should set it to its degree of parallelism (the default of 1
+    feeds such an executor one trial at a time whenever a save/resume file
+    is in play).
+    """
+
+    records_only: bool = False
+    workers: int = 1
+
+    def _trial_fn(self):
+        return execute_trial_record_only if self.records_only else execute_trial
+
+    def run(
+        self, trials: Sequence["Trial"]
+    ) -> List[Tuple[TrialRecord, Optional["ExperimentResult"]]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run trials one after the other in this process."""
+
+    def __init__(self, records_only: bool = False) -> None:
+        self.records_only = records_only
+
+    def run(
+        self, trials: Sequence["Trial"]
+    ) -> List[Tuple[TrialRecord, Optional["ExperimentResult"]]]:
+        fn = self._trial_fn()
+        return [fn(trial) for trial in trials]
+
+
+class ParallelExecutor(Executor):
+    """Run trials across a process pool.
+
+    ``workers=None`` consults ``REPRO_BENCH_WORKERS`` and falls back to the
+    machine's CPU count.  With one trial (or one worker) the pool is skipped
+    entirely so small campaigns pay no fork overhead.
+
+    The pool prefers the ``fork`` start method where available so schemes
+    registered at runtime with ``@register_scheme`` are visible in the
+    workers.  On spawn-only platforms (Windows), plug-in schemes must be
+    registered at import time in a module the workers import too.
+    """
+
+    def __init__(self, workers: Optional[int] = None, records_only: bool = False) -> None:
+        if workers is None:
+            # An explicit REPRO_BENCH_WORKERS=1 means serial and is honored;
+            # only a genuinely unset env falls back to the CPU count.
+            env = _env_workers()
+            workers = env if env is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.records_only = records_only
+
+    def run(
+        self, trials: Sequence["Trial"]
+    ) -> List[Tuple[TrialRecord, Optional["ExperimentResult"]]]:
+        effective = min(self.workers, len(trials))
+        if effective <= 1:
+            return SerialExecutor(records_only=self.records_only).run(trials)
+        mp_context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=effective, mp_context=mp_context) as pool:
+            # map() preserves input order, so the parallel result list lines
+            # up with the serial one trial for trial.
+            return list(pool.map(self._trial_fn(), trials))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelExecutor(workers={self.workers})"
+
+
+def make_executor(
+    executor: Optional[Executor] = None,
+    workers: Optional[int] = None,
+    records_only: bool = False,
+) -> Executor:
+    """Resolve the executor for ``Campaign.run(executor=..., workers=...)``."""
+    if executor is not None:
+        if records_only and not executor.records_only:
+            # Honor keep_results=False without mutating the caller's executor.
+            executor = copy.copy(executor)
+            executor.records_only = True
+        return executor
+    if workers is None:
+        workers = default_workers()
+    elif workers < 1:
+        # Same validation ParallelExecutor applies; a 0 or negative count is
+        # a mistake, not a request for serial execution.
+        raise CampaignError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        return ParallelExecutor(workers, records_only=records_only)
+    return SerialExecutor(records_only=records_only)

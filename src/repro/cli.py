@@ -1,22 +1,27 @@
 """Command-line interface for the BFC reproduction.
 
-The CLI wraps the experiment runner and the per-figure scenarios so that the
+The CLI wraps the campaign layer and the per-figure scenarios so that the
 common workflows need no Python code:
 
-``python -m repro schemes``
+``repro schemes`` (or ``python -m repro schemes``)
     List the available schemes and what they wire up.
 
-``python -m repro workloads``
+``repro workloads``
     Describe the industry flow-size distributions (mean, sub-BDP share).
 
-``python -m repro run --scheme BFC --scale tiny``
+``repro run --scheme BFC --scale tiny``
     Run a single experiment (the Fig. 5a workload by default) and print a
     summary; ``--json`` emits machine-readable output.
 
-``python -m repro figure fig5a --scale tiny --schemes BFC DCQCN``
+``repro campaign --schemes BFC DCQCN --load 0.6 0.8 --repeats 2 --workers 4``
+    Expand a {scheme x load x repeats} grid, run it (optionally across
+    processes), print aggregated tables and optionally persist the per-trial
+    records as JSONL (``--save``/``--resume``).  Also available as ``sweep``.
+
+``repro figure fig5a --scale tiny --schemes BFC DCQCN``
     Run one of the paper's figures and print the reproduced table.
 
-``python -m repro compare --scale tiny --schemes BFC DCQCN HPCC``
+``repro compare --scale tiny --schemes BFC DCQCN HPCC``
     Run several schemes on the same trace and print the comparison table.
 """
 
@@ -28,8 +33,9 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_comparison_table, format_series_table
+from repro.campaign import Campaign, CampaignError, summarize_result
 from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.experiments.schemes import SCHEMES, available_schemes
+from repro.experiments.schemes import SCHEMES, UnknownSchemeError, available_schemes
 from repro.experiments import scenarios
 from repro.sim import units
 from repro.workloads.distributions import WORKLOADS
@@ -74,12 +80,40 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
+    campaign = sub.add_parser(
+        "campaign",
+        aliases=["sweep"],
+        help="run a declarative {scheme x sweep x repeats} campaign",
+    )
+    campaign.add_argument("name", nargs="?", default="campaign",
+                          help="campaign name (prefixes every trial name)")
+    campaign.add_argument("--schemes", nargs="+", default=["BFC", "DCQCN"],
+                          choices=available_schemes())
+    campaign.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    campaign.add_argument("--workload", default="google", choices=sorted(WORKLOADS))
+    campaign.add_argument("--load", type=float, nargs="+", default=[0.6],
+                          help="offered load(s); several values form a sweep axis")
+    campaign.add_argument("--incast", type=float, nargs="+", default=[0.05],
+                          help="incast load(s); 0 disables incast")
+    campaign.add_argument("--repeats", type=int, default=1,
+                          help="repeats per grid point (seeds derived per repeat)")
+    campaign.add_argument("--seed", type=int, default=1, help="base seed")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="process-pool size; >1 runs trials in parallel")
+    campaign.add_argument("--save", default=None, metavar="PATH",
+                          help="write per-trial records to this JSONL file")
+    campaign.add_argument("--resume", default=None, metavar="PATH",
+                          help="JSONL file of a previous run; recorded trials are skipped")
+    campaign.add_argument("--json", action="store_true")
+
     figure = sub.add_parser("figure", help="run one of the paper's figures")
     figure.add_argument("name", choices=sorted(FIGURE_FACTORIES))
     figure.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
     figure.add_argument("--schemes", nargs="*", default=None,
                         help="restrict to these schemes (figures 5a-c, 6, 9 only)")
     figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("--workers", type=int, default=1,
+                        help="process-pool size; >1 runs the figure's configs in parallel")
     figure.add_argument("--json", action="store_true")
 
     compare = sub.add_parser("compare", help="run several schemes on one trace")
@@ -90,6 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--load", type=float, default=0.6)
     compare.add_argument("--incast", type=float, default=0.05)
     compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--workers", type=int, default=1,
+                         help="process-pool size; >1 runs the schemes in parallel")
     compare.add_argument("--json", action="store_true")
     return parser
 
@@ -100,32 +136,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _result_summary(result: ExperimentResult) -> Dict[str, float]:
-    pause = result.pause_fraction_by_class()
-    return {
-        "scheme": result.scheme,
-        "flows_offered": result.flows_offered,
-        "completion_rate": result.completion_rate(),
-        "p99_slowdown": result.p99_slowdown(),
-        "mean_slowdown": result.mean_slowdown(),
-        "dropped_packets": result.dropped_packets,
-        "p99_buffer_bytes": result.buffer_sampler.percentile(99),
-        "max_pfc_pause_fraction": max(pause.values()) if pause else 0.0,
-        "collision_fraction": result.collision_fraction or 0.0,
-        "events_processed": result.events_processed,
-        "wall_seconds": result.wall_seconds,
-    }
+    # One metric schema for the whole toolkit: the campaign layer's
+    # flattener, plus the identity/wall fields the CLI traditionally shows.
+    summary: Dict[str, float] = {"scheme": result.scheme}
+    summary.update(summarize_result(result))
+    summary["wall_seconds"] = result.wall_seconds
+    return summary
 
 
 def _single_config(scheme: str, scale_name: str, workload: str, load: float,
                    incast: float, seed: int):
-    scale = scenarios.get_scale(scale_name)
-    distribution = WORKLOADS[workload]
-    traffic = scenarios._background_traffic(
-        scale, distribution, load, incast_load=incast if incast > 0 else None, seed=seed
+    # Built through the campaign's default builder so `repro run` and
+    # `repro campaign` produce the same experiment for the same flags.
+    (trial,) = (
+        Campaign(f"cli/{workload}", scale=scale_name, workload=workload)
+        .schemes(scheme)
+        .fixed(load=load, incast=incast)
+        .seeds(base=seed)
+        .trials()
     )
-    return scenarios._base_config(
-        f"cli/{scheme}/{workload}", scheme, scale, traffic, seed=seed
-    )
+    return trial.config
 
 
 def cmd_schemes(args: argparse.Namespace, out) -> int:
@@ -184,6 +214,69 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace, out) -> int:
+    # scale/workload are baked into each record's params by the campaign, so
+    # resuming a JSONL saved under a different workload/scale re-runs trials.
+    campaign = (
+        Campaign(args.name, scale=args.scale, workload=args.workload)
+        .schemes(*args.schemes)
+        .sweep(load=args.load)
+        .repeats(args.repeats)
+        .seeds(base=args.seed)
+    )
+    if len(args.incast) > 1:
+        campaign.sweep(incast=args.incast)
+    else:
+        campaign.fixed(incast=args.incast[0])
+    result_set = campaign.run(
+        workers=args.workers, save=args.save, resume=args.resume,
+        keep_results=False,  # tables below only need the tidy records
+    )
+    if args.json:
+        json.dump([record.to_dict() for record in result_set], out, indent=2)
+        print(file=out)
+        return 0
+    print(
+        f"Campaign {args.name!r}: {len(result_set)} trials "
+        f"({len(args.schemes)} schemes, loads {args.load}, "
+        f"{args.repeats} repeat(s), workers={args.workers})",
+        file=out,
+    )
+    for record in result_set:
+        print(
+            f"  {record.label:<32s} p99={record.metrics['p99_slowdown']:7.2f}  "
+            f"completed={100 * record.metrics['completion_rate']:5.1f}%  "
+            f"drops={int(record.metrics['dropped_packets']):4d}  "
+            f"({record.wall_seconds:.1f}s)",
+            file=out,
+        )
+    print(file=out)
+    # One table per incast value when incast is swept, so no cell ever blends
+    # physically different experiments; the mean is over repeats only.
+    for incast in args.incast:
+        by_load = result_set.filter(incast=incast).aggregate(
+            "p99_slowdown", ["scheme", "load"]
+        )
+        rows: Dict[str, Dict[str, float]] = {}
+        for (scheme, load), value in by_load.items():
+            rows.setdefault(scheme, {})[f"{load:g}"] = value
+        title = "p99 FCT slowdown by scheme and load (mean over repeats)"
+        if len(args.incast) > 1:
+            title += f", incast={incast:g}"
+        print(
+            format_comparison_table(
+                title,
+                rows,
+                columns=[f"{load:g}" for load in args.load],
+                fmt="{:.2f}",
+            ),
+            file=out,
+        )
+    if args.save:
+        print(f"records written to {args.save}", file=out)
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace, out) -> int:
     factory = FIGURE_FACTORIES[args.name]
     kwargs = {"seed": args.seed}
@@ -194,7 +287,8 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
             configs = factory(args.scale, **kwargs)
     else:
         configs = factory(args.scale, **kwargs)
-    results = {label: run_experiment(config) for label, config in configs.items()}
+    result_set = Campaign.from_configs(args.name, configs).run(workers=args.workers)
+    results = result_set.experiment_results_by_label()
     if args.json:
         json.dump({label: _result_summary(r) for label, r in results.items()}, out, indent=2)
         print(file=out)
@@ -227,11 +321,13 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
 
 
 def cmd_compare(args: argparse.Namespace, out) -> int:
-    results: Dict[str, ExperimentResult] = {}
-    for scheme in args.schemes:
-        config = _single_config(scheme, args.scale, args.workload, args.load,
-                                args.incast, args.seed)
-        results[scheme] = run_experiment(config)
+    configs = {
+        scheme: _single_config(scheme, args.scale, args.workload, args.load,
+                               args.incast, args.seed)
+        for scheme in args.schemes
+    }
+    result_set = Campaign.from_configs("compare", configs).run(workers=args.workers)
+    results: Dict[str, ExperimentResult] = result_set.experiment_results_by_label()
     if args.json:
         json.dump({s: _result_summary(r) for s, r in results.items()}, out, indent=2)
         print(file=out)
@@ -266,6 +362,8 @@ COMMANDS = {
     "schemes": cmd_schemes,
     "workloads": cmd_workloads,
     "run": cmd_run,
+    "campaign": cmd_campaign,
+    "sweep": cmd_campaign,
     "figure": cmd_figure,
     "compare": cmd_compare,
 }
@@ -277,7 +375,16 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = COMMANDS[args.command]
-    return handler(args, out)
+    try:
+        return handler(args, out)
+    except (CampaignError, UnknownSchemeError) as exc:
+        # Bad-input errors from the campaign layer (duplicate sweep values,
+        # unknown scheme, ...) read like argparse errors instead of
+        # tracebacks.  Deliberately narrow: the simulator's own ValueErrors
+        # are bugs and must stay loud.
+        message = exc.args[0] if exc.args else exc
+        print(f"{parser.prog} {args.command}: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

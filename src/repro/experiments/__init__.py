@@ -1,6 +1,22 @@
-"""Experiment harness: scheme wiring, the runner, and per-figure scenarios."""
+"""Experiment harness: scheme wiring, the runner, and per-figure scenarios.
 
-from .schemes import SCHEMES, SchemeEnvironment, SchemeSpec, available_schemes
+Grids of experiments (sweeps, repeats, parallel execution) live one level up
+in :mod:`repro.campaign`; this package provides the single-run primitive and
+the pluggable scheme registry it draws from.
+"""
+
+from .schemes import (
+    SCHEMES,
+    DuplicateSchemeError,
+    SchemeEnvironment,
+    SchemeSpec,
+    UnknownSchemeError,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+    register_scheme_spec,
+    unregister_scheme,
+)
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -14,7 +30,13 @@ __all__ = [
     "SCHEMES",
     "SchemeSpec",
     "SchemeEnvironment",
+    "UnknownSchemeError",
+    "DuplicateSchemeError",
     "available_schemes",
+    "get_scheme",
+    "register_scheme",
+    "register_scheme_spec",
+    "unregister_scheme",
     "ExperimentConfig",
     "ExperimentResult",
     "TrafficSpec",

@@ -1,17 +1,21 @@
 """Experiment runner: build a topology, attach a scheme, replay a trace, measure.
 
-This is the layer every benchmark and example drives.  A single call to
-:func:`run_experiment` performs one simulation run and returns an
-:class:`ExperimentResult` with the flow records, buffer samples, pause-time
-shares and scheme-specific statistics needed to regenerate the paper's
-figures.
+This is the low-level single-run primitive.  A call to :func:`run_experiment`
+performs one simulation run and returns an :class:`ExperimentResult` with the
+flow records, buffer samples, pause-time shares and scheme-specific
+statistics needed to regenerate the paper's figures.
+
+Grids of runs — several schemes, parameter sweeps, repeats, parallel
+execution — are the job of :class:`repro.campaign.Campaign`, which drives
+this runner one trial at a time.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import BfcConfig
 from repro.core.switchlogic import BfcSwitch
@@ -303,7 +307,7 @@ def _harvest_utilization(topo: Topology, duration_ns: int) -> Dict[int, float]:
     return result
 
 
-def _harvest_bfc_stats(topo: Topology) -> (Optional[float], Dict[str, int]):
+def _harvest_bfc_stats(topo: Topology) -> Tuple[Optional[float], Dict[str, int]]:
     bfc_switches = [s for s in topo.all_switches() if isinstance(s, BfcSwitch)]
     if not bfc_switches:
         return None, {}
@@ -400,10 +404,27 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 def run_schemes(
     base_config: ExperimentConfig, schemes: Sequence[str]
 ) -> Dict[str, ExperimentResult]:
-    """Run the same experiment once per scheme (one line per scheme in a figure)."""
-    results: Dict[str, ExperimentResult] = {}
-    for scheme in schemes:
-        config = ExperimentConfig(**{**base_config.__dict__, "scheme": scheme,
-                                     "name": f"{base_config.name}/{scheme}"})
-        results[scheme] = run_experiment(config)
-    return results
+    """Run the same experiment once per scheme (one line per scheme in a figure).
+
+    .. deprecated::
+        Use :class:`repro.campaign.Campaign` instead, which adds sweeps,
+        repeats, parallel execution and persistent results::
+
+            Campaign.from_configs(name, configs).run(workers=4)
+
+    This shim keeps the original call shape and return type.
+    """
+    warnings.warn(
+        "run_schemes() is deprecated; build a repro.campaign.Campaign instead "
+        "(Campaign.from_configs(...).run())",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.campaign import Campaign
+
+    configs = {
+        scheme: replace(base_config, scheme=scheme, name=f"{base_config.name}/{scheme}")
+        for scheme in schemes
+    }
+    result_set = Campaign.from_configs(base_config.name, configs).run()
+    return result_set.experiment_results_by_label()

@@ -503,3 +503,148 @@ def fig14_configs(
         )
         for size in bloom_sizes
     }
+
+
+# ---------------------------------------------------------------------------
+# Campaign forms of the per-figure factories
+# ---------------------------------------------------------------------------
+#
+# Each figure also exists as a ready-to-run Campaign, so the declarative API
+# ("run it, in parallel, with repeats, save the records") composes with the
+# exact config grids above::
+#
+#     from repro.experiments.scenarios import fig5a_campaign
+#     results = fig5a_campaign("tiny", repeats=3).run(workers=4)
+
+
+def _figure_campaign(figure: str, make_configs, repeats: int, seed: int):
+    from repro.campaign import Campaign
+
+    # from_config_factory re-invokes the figure's config factory with each
+    # repeat's seed (base seed + repeat index), so even figures that bake
+    # explicit flow lists into their configs (fig8/9/10) genuinely resample
+    # their traffic per repeat.
+    return (
+        Campaign.from_config_factory(figure, make_configs)
+        .repeats(repeats)
+        .seeds(base=seed)
+    )
+
+
+def fig2_campaign(scale_name: str = "tiny", seed: int = 1, repeats: int = 1):
+    return _figure_campaign(
+        "fig2", lambda s: fig2_configs(scale_name, seed=s), repeats, seed
+    )
+
+
+def fig3_campaign(scale_name: str = "tiny", seed: int = 1, repeats: int = 1):
+    return _figure_campaign(
+        "fig3", lambda s: fig3_configs(scale_name, seed=s), repeats, seed
+    )
+
+
+def fig5a_campaign(
+    scale_name: str = "tiny",
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    repeats: int = 1,
+):
+    return _figure_campaign(
+        "fig5a", lambda s: fig5a_configs(scale_name, schemes=schemes, seed=s), repeats, seed
+    )
+
+
+def fig5b_campaign(
+    scale_name: str = "tiny",
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    repeats: int = 1,
+):
+    return _figure_campaign(
+        "fig5b", lambda s: fig5b_configs(scale_name, schemes=schemes, seed=s), repeats, seed
+    )
+
+
+def fig5c_campaign(
+    scale_name: str = "tiny",
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    repeats: int = 1,
+):
+    return _figure_campaign(
+        "fig5c", lambda s: fig5c_configs(scale_name, schemes=schemes, seed=s), repeats, seed
+    )
+
+
+def fig6_campaign(
+    scale_name: str = "tiny",
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    repeats: int = 1,
+):
+    return _figure_campaign(
+        "fig6", lambda s: fig6_configs(scale_name, schemes=schemes, seed=s), repeats, seed
+    )
+
+
+def fig7_campaign(scale_name: str = "tiny", seed: int = 1, repeats: int = 1):
+    return _figure_campaign(
+        "fig7", lambda s: fig7_configs(scale_name, seed=s), repeats, seed
+    )
+
+
+def fig8_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    """Fan-in sweep as a campaign; nested {scheme: {fan_in: config}} flattens
+    to "scheme/fan_in" labels.  ``**kwargs`` (schemes, fan_ins) forward to
+    :func:`fig8_configs` so its defaults stay the single source of truth."""
+    return _figure_campaign(
+        "fig8", lambda s: fig8_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )
+
+
+def fig9_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig9", lambda s: fig9_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )
+
+
+def fig10_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig10", lambda s: fig10_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )
+
+
+def fig11_campaign(scale_name: str = "tiny", seed: int = 1, repeats: int = 1):
+    return _figure_campaign(
+        "fig11", lambda s: fig11_configs(scale_name, seed=s), repeats, seed
+    )
+
+
+def fig12_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig12", lambda s: fig12_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )
+
+
+def fig13_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig13", lambda s: fig13_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )
+
+
+def fig14_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig14", lambda s: fig14_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )

@@ -23,7 +23,7 @@ Scheme                 Switch                                      Host / conges
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.congestion.dcqcn import DcqcnConfig, DcqcnControl, DcqcnWindowedControl
@@ -250,8 +250,193 @@ def _bfc_host(env: SchemeEnvironment, name: str, host_id: int, config: BfcConfig
 # Registry
 # ---------------------------------------------------------------------------
 
+#: The scheme registry.  Populated through :func:`register_scheme` /
+#: :func:`register_scheme_spec`; the name is kept for backwards compatibility
+#: with code that iterated the old hard-coded table.
+SCHEMES: Dict[str, SchemeSpec] = {}
+
+
+class UnknownSchemeError(KeyError):
+    """Raised when a scheme name is not in the registry."""
+
+
+class DuplicateSchemeError(ValueError):
+    """Raised when registering a name that is already taken (without override)."""
+
+
+def register_scheme_spec(spec: SchemeSpec, override: bool = False) -> SchemeSpec:
+    """Register a fully-built :class:`SchemeSpec` under its own name."""
+    if spec.name in SCHEMES and not override:
+        raise DuplicateSchemeError(
+            f"scheme {spec.name!r} is already registered; pass override=True "
+            "to replace it"
+        )
+    SCHEMES[spec.name] = spec
+    return spec
+
+
+def register_scheme(
+    name: str,
+    *,
+    description: Optional[str] = None,
+    uses_bfc: bool = False,
+    override: bool = False,
+):
+    """Decorator registering a congestion-control scheme.
+
+    The decorated callable is invoked once, with no arguments, and must
+    return either a ``(make_switch, make_host)`` factory pair or a complete
+    :class:`SchemeSpec`.  Third-party schemes plug in the same way the
+    built-in ones are defined — no edits to this module required::
+
+        @register_scheme("MyScheme", description="my experimental scheme")
+        def _my_scheme():
+            return (
+                lambda env, name, tier: ...,   # -> Switch
+                lambda env, name, host_id: ...,  # -> Host
+            )
+
+    ``override=True`` replaces an existing registration (useful for patching
+    a built-in scheme in experiments or tests).
+
+    Note on parallel campaigns: process pools prefer the ``fork`` start
+    method, which carries runtime registrations into the workers.  On
+    platforms without ``fork`` (Windows), register plug-in schemes at import
+    time in a module the workers import, not under ``if __name__ ==
+    "__main__"``.
+    """
+
+    def decorate(builder):
+        built = builder()
+        if isinstance(built, SchemeSpec):
+            # Copy before renaming: the builder may hand back an existing
+            # registration (e.g. aliasing a built-in), which must not be
+            # mutated in place.
+            spec = replace(
+                built,
+                name=name,
+                description=description if description is not None else built.description,
+                uses_bfc=built.uses_bfc or uses_bfc,
+            )
+        else:
+            try:
+                make_switch, make_host = built
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"scheme builder for {name!r} must return a SchemeSpec or "
+                    "a (make_switch, make_host) pair"
+                ) from None
+            doc = (builder.__doc__ or "").strip().splitlines()
+            spec = SchemeSpec(
+                name=name,
+                description=description or (doc[0] if doc else name),
+                make_switch=make_switch,
+                make_host=make_host,
+                uses_bfc=uses_bfc,
+            )
+        register_scheme_spec(spec, override=override)
+        return builder
+
+    return decorate
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a scheme from the registry (no-op if absent)."""
+    SCHEMES.pop(name, None)
+
+
+def available_schemes() -> List[str]:
+    return list(SCHEMES)
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise UnknownSchemeError(
+            f"unknown scheme {name!r}; available: {', '.join(sorted(SCHEMES))}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in schemes (the lines of the paper's figures)
+# ---------------------------------------------------------------------------
+
+
+@register_scheme(
+    "DCQCN", description="ECN-based end-to-end rate control (FIFO switches, PFC)"
+)
+def _dcqcn_scheme():
+    return (
+        lambda env, name, tier: _fifo_switch(env, name, tier, ecn=True, int_enabled=False),
+        lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=False),
+    )
+
+
+@register_scheme("DCQCN+Win", description="DCQCN with a 1-BDP per-flow window cap")
+def _dcqcn_win_scheme():
+    return (
+        lambda env, name, tier: _fifo_switch(env, name, tier, ecn=True, int_enabled=False),
+        lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=True),
+    )
+
+
+@register_scheme(
+    "DCQCN+Win+SFQ",
+    description="DCQCN+Win with stochastic fair queueing at the switches",
+)
+def _dcqcn_win_sfq_scheme():
+    return (
+        lambda env, name, tier: _sfq_switch(env, name, tier, ecn=True, infinite=False),
+        lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=True),
+    )
+
+
+@register_scheme(
+    "HPCC", description="INT-based end-to-end window control (FIFO switches, PFC)"
+)
+def _hpcc_scheme():
+    return (
+        lambda env, name, tier: _fifo_switch(env, name, tier, ecn=False, int_enabled=True),
+        lambda env, name, hid: _hpcc_host(env, name, hid),
+    )
+
+
+@register_scheme(
+    "Ideal-FQ",
+    description="Idealised per-flow fair queueing with infinite buffers (unrealisable bound)",
+)
+def _ideal_fq_scheme():
+    return (
+        lambda env, name, tier: _ideal_fq_switch(env, name, tier),
+        lambda env, name, hid: _windowed_host(env, name, hid),
+    )
+
+
+@register_scheme(
+    "SFQ+InfBuffer",
+    description="Static SFQ queue assignment with infinite buffers (§4.2 ablation)",
+)
+def _sfq_infbuffer_scheme():
+    return (
+        lambda env, name, tier: _sfq_switch(env, name, tier, ecn=False, infinite=True),
+        lambda env, name, hid: _windowed_host(env, name, hid),
+    )
+
+
+@register_scheme(
+    "PFC", description="Hop-by-hop priority flow control only (no end-to-end CC)"
+)
+def _pfc_scheme():
+    return (
+        lambda env, name, tier: _fifo_switch(env, name, tier, ecn=False, int_enabled=False),
+        lambda env, name, hid: _line_rate_host(env, name, hid),
+    )
+
 
 def _bfc_spec(name: str, description: str, config_overrides: Dict[str, object]) -> SchemeSpec:
+    """Build a BFC scheme variant whose :class:`BfcConfig` is overridden."""
+
     def make_switch(env: SchemeEnvironment, switch_name: str, tier: str) -> Switch:
         config = env.effective_bfc_config().with_overrides(**config_overrides)
         return _bfc_switch(env, switch_name, tier, config)
@@ -265,80 +450,27 @@ def _bfc_spec(name: str, description: str, config_overrides: Dict[str, object]) 
     )
 
 
-SCHEMES: Dict[str, SchemeSpec] = {
-    "DCQCN": SchemeSpec(
-        name="DCQCN",
-        description="ECN-based end-to-end rate control (FIFO switches, PFC)",
-        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=True, int_enabled=False),
-        make_host=lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=False),
-    ),
-    "DCQCN+Win": SchemeSpec(
-        name="DCQCN+Win",
-        description="DCQCN with a 1-BDP per-flow window cap",
-        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=True, int_enabled=False),
-        make_host=lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=True),
-    ),
-    "DCQCN+Win+SFQ": SchemeSpec(
-        name="DCQCN+Win+SFQ",
-        description="DCQCN+Win with stochastic fair queueing at the switches",
-        make_switch=lambda env, name, tier: _sfq_switch(env, name, tier, ecn=True, infinite=False),
-        make_host=lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=True),
-    ),
-    "HPCC": SchemeSpec(
-        name="HPCC",
-        description="INT-based end-to-end window control (FIFO switches, PFC)",
-        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=False, int_enabled=True),
-        make_host=lambda env, name, hid: _hpcc_host(env, name, hid),
-    ),
-    "Ideal-FQ": SchemeSpec(
-        name="Ideal-FQ",
-        description="Idealised per-flow fair queueing with infinite buffers (unrealisable bound)",
-        make_switch=lambda env, name, tier: _ideal_fq_switch(env, name, tier),
-        make_host=lambda env, name, hid: _windowed_host(env, name, hid),
-    ),
-    "SFQ+InfBuffer": SchemeSpec(
-        name="SFQ+InfBuffer",
-        description="Static SFQ queue assignment with infinite buffers (§4.2 ablation)",
-        make_switch=lambda env, name, tier: _sfq_switch(env, name, tier, ecn=False, infinite=True),
-        make_host=lambda env, name, hid: _windowed_host(env, name, hid),
-    ),
-    "PFC": SchemeSpec(
-        name="PFC",
-        description="Hop-by-hop priority flow control only (no end-to-end CC)",
-        make_switch=lambda env, name, tier: _fifo_switch(env, name, tier, ecn=False, int_enabled=False),
-        make_host=lambda env, name, hid: _line_rate_host(env, name, hid),
-    ),
-    "BFC": _bfc_spec(
+for _name, _description, _overrides in (
+    (
         "BFC",
         "Backpressure flow control: per-hop per-flow pauses, dynamic queue assignment",
         {},
     ),
-    "BFC-VFID": _bfc_spec(
+    (
         "BFC-VFID",
         "Straw proposal: static hash assignment of flows to physical queues",
         {"static_queue_assignment": True},
     ),
-    "BFC-HighPriorityQ": _bfc_spec(
+    (
         "BFC-HighPriorityQ",
         "BFC without the high-priority queue for single-packet flows",
         {"use_high_priority_queue": False},
     ),
-    "BFC-BufferOpt": _bfc_spec(
+    (
         "BFC-BufferOpt",
         "BFC without the two-resumes-per-RTT limit",
         {"limit_resume_rate": False},
     ),
-}
-
-
-def available_schemes() -> List[str]:
-    return list(SCHEMES)
-
-
-def get_scheme(name: str) -> SchemeSpec:
-    try:
-        return SCHEMES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheme {name!r}; available: {', '.join(sorted(SCHEMES))}"
-        ) from None
+):
+    register_scheme_spec(_bfc_spec(_name, _description, _overrides))
+del _name, _description, _overrides

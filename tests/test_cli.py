@@ -35,6 +35,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_campaign_parses_sweep_axes(self):
+        args = build_parser().parse_args(
+            ["campaign", "mysweep", "--schemes", "BFC", "DCQCN",
+             "--load", "0.6", "0.8", "--repeats", "2", "--workers", "4"]
+        )
+        assert args.name == "mysweep"
+        assert args.schemes == ["BFC", "DCQCN"]
+        assert args.load == [0.6, 0.8]
+        assert args.repeats == 2
+        assert args.workers == 4
+
+    def test_sweep_is_an_alias_for_campaign(self):
+        args = build_parser().parse_args(["sweep", "--schemes", "BFC"])
+        assert args.command == "sweep"
+        assert args.schemes == ["BFC"]
+
+    def test_campaign_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--schemes", "NotAScheme"])
+
+    def test_campaign_bad_input_is_a_clean_error_not_a_traceback(self, capsys):
+        code, _ = run_cli(["campaign", "--schemes", "BFC", "--load", "0.6", "0.6"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "duplicate trial name" in err
+        assert "Traceback" not in err
+
 
 class TestInformationalCommands:
     def test_schemes_lists_everything(self):
@@ -79,6 +106,32 @@ class TestRunCommand:
         )
         assert code == 0
         assert json.loads(output)["dropped_packets"] == 0
+
+
+class TestCampaignCommand:
+    def test_campaign_json_records(self):
+        code, output = run_cli(
+            ["campaign", "clitest", "--schemes", "BFC", "--load", "0.3",
+             "--incast", "0", "--json"]
+        )
+        assert code == 0
+        records = json.loads(output)
+        assert [r["name"] for r in records] == ["clitest/BFC/load=0.3"]
+        assert records[0]["scheme"] == "BFC"
+        assert records[0]["metrics"]["completion_rate"] > 0.8
+
+    def test_campaign_text_table_and_save(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        code, output = run_cli(
+            ["campaign", "--schemes", "BFC", "--load", "0.3", "--incast", "0",
+             "--save", str(path)]
+        )
+        assert code == 0
+        assert "p99 FCT slowdown by scheme and load" in output
+        assert path.exists()
+        from repro.campaign import ResultSet
+
+        assert len(ResultSet.load(path)) == 1
 
 
 class TestCompareAndFigure:
