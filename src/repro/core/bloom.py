@@ -7,13 +7,16 @@ VFIDs mapping to the same bit can be removed independently; what travels on
 the wire is the plain bitmap derived from it.
 
 Both ends must hash identically, so the hash functions are CRC32 based (never
-Python's randomised ``hash``).
+Python's randomised ``hash``).  Membership tests run once per queue-service
+decision on every BFC egress port, so the codec memoizes each VFID's bit
+positions (the VFID space is small and fixed) and the counting filter keeps
+its wire bitmap up to date incrementally instead of rescanning the counters.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 
 class BloomFilterCodec:
@@ -39,14 +42,31 @@ class BloomFilterCodec:
         self.num_bits = size_bytes * 8
         self.num_hashes = num_hashes
         self.salt = salt
+        # Memoized per-VFID derivations.  Keys are the VFIDs actually seen;
+        # the VFID space is fixed per experiment (16K default), so these are
+        # bounded and every entry is reused thousands of times.
+        self._positions: Dict[int, Tuple[int, ...]] = {}
+        # (byte_index, bit_mask) pairs for bitmap membership tests.
+        self._masks: Dict[int, Tuple[Tuple[int, int], ...]] = {}
 
     def bit_positions(self, vfid: int) -> Tuple[int, ...]:
         """The bit positions a VFID maps to (deterministic across processes)."""
-        positions = []
-        for i in range(self.num_hashes):
-            data = f"{self.salt}:{i}:{vfid}".encode("ascii")
-            positions.append(zlib.crc32(data) % self.num_bits)
-        return tuple(positions)
+        positions = self._positions.get(vfid)
+        if positions is None:
+            num_bits = self.num_bits
+            positions = tuple(
+                zlib.crc32(b"%d:%d:%d" % (self.salt, i, vfid)) % num_bits
+                for i in range(self.num_hashes)
+            )
+            self._positions[vfid] = positions
+        return positions
+
+    def _bit_masks(self, vfid: int) -> Tuple[Tuple[int, int], ...]:
+        masks = self._masks.get(vfid)
+        if masks is None:
+            masks = tuple((pos >> 3, 1 << (pos & 7)) for pos in self.bit_positions(vfid))
+            self._masks[vfid] = masks
+        return masks
 
     def empty_bitmap(self) -> bytes:
         return bytes(self.size_bytes)
@@ -55,9 +75,12 @@ class BloomFilterCodec:
         """Membership test against a wire bitmap (false positives possible)."""
         if bitmap is None:
             return False
-        for pos in self.bit_positions(vfid):
-            byte_index, bit_index = divmod(pos, 8)
-            if byte_index >= len(bitmap) or not (bitmap[byte_index] >> bit_index) & 1:
+        masks = self._masks.get(vfid)
+        if masks is None:
+            masks = self._bit_masks(vfid)
+        bitmap_len = len(bitmap)
+        for byte_index, mask in masks:
+            if byte_index >= bitmap_len or not bitmap[byte_index] & mask:
                 return False
         return True
 
@@ -65,9 +88,8 @@ class BloomFilterCodec:
         """Build a wire bitmap directly from a collection of VFIDs."""
         bits = bytearray(self.size_bytes)
         for vfid in vfids:
-            for pos in self.bit_positions(vfid):
-                byte_index, bit_index = divmod(pos, 8)
-                bits[byte_index] |= 1 << bit_index
+            for byte_index, mask in self._bit_masks(vfid):
+                bits[byte_index] |= mask
         return bytes(bits)
 
 
@@ -78,11 +100,16 @@ class CountingBloomFilter:
     one VFID does not accidentally unpause another VFID sharing a bit
     position (§3.6: "If two paused VFIDs map to the same bloom filter bit
     position, the count will be two ...").
+
+    The wire bitmap is maintained incrementally: a bit flips exactly when its
+    counter crosses zero, so :meth:`to_bitmap` is a buffer copy rather than a
+    scan of every counter.
     """
 
     def __init__(self, codec: BloomFilterCodec) -> None:
         self.codec = codec
         self._counts: List[int] = [0] * codec.num_bits
+        self._bits = bytearray(codec.size_bytes)
         self._members = 0
 
     def __len__(self) -> int:
@@ -90,33 +117,42 @@ class CountingBloomFilter:
         return self._members
 
     def add(self, vfid: int) -> None:
+        counts = self._counts
+        bits = self._bits
         for pos in self.codec.bit_positions(vfid):
-            self._counts[pos] += 1
+            count = counts[pos]
+            if count == 0:
+                bits[pos >> 3] |= 1 << (pos & 7)
+            counts[pos] = count + 1
         self._members += 1
 
     def remove(self, vfid: int) -> None:
+        counts = self._counts
         positions = self.codec.bit_positions(vfid)
         for pos in positions:
-            if self._counts[pos] <= 0:
+            if counts[pos] <= 0:
                 raise ValueError(f"removing VFID {vfid} that was never added")
+        bits = self._bits
         for pos in positions:
-            self._counts[pos] -= 1
+            count = counts[pos] - 1
+            counts[pos] = count
+            if count == 0:
+                bits[pos >> 3] &= ~(1 << (pos & 7))
         self._members -= 1
 
     def contains(self, vfid: int) -> bool:
-        return all(self._counts[pos] > 0 for pos in self.codec.bit_positions(vfid))
+        counts = self._counts
+        for pos in self.codec.bit_positions(vfid):
+            if counts[pos] <= 0:
+                return False
+        return True
 
     def is_empty(self) -> bool:
         return self._members == 0
 
     def to_bitmap(self) -> bytes:
         """The wire representation sent upstream (1 bit per non-zero counter)."""
-        bits = bytearray(self.codec.size_bytes)
-        for pos, count in enumerate(self._counts):
-            if count > 0:
-                byte_index, bit_index = divmod(pos, 8)
-                bits[byte_index] |= 1 << bit_index
-        return bytes(bits)
+        return bytes(self._bits)
 
     def max_counter(self) -> int:
         return max(self._counts) if self._counts else 0

@@ -63,13 +63,17 @@ class BfcEgressDiscipline:
         self.resume_lists: Dict[int, ResumeList] = {}
         self.downstream_filter: Optional[bytes] = None
         self.stats = BfcEgressStats()
+        # Hot-path aliases (stable for the lifetime of the discipline).
+        self._flow_table = agent.flow_table
+        self._codec = agent.codec
+        self._num_vfids = self.config.num_vfids
         agent.register_discipline(self)
 
     # ------------------------------------------------------------------ enqueue --
 
     def enqueue(self, packet: Packet, ingress: int) -> bool:
-        vfid = packet_vfid(packet, self.config.num_vfids)
-        entry = self.agent.flow_table.lookup_or_insert(
+        vfid = packet_vfid(packet, self._num_vfids)
+        entry = self._flow_table.lookup_or_insert(
             vfid, ingress, self.egress_index, key=packet.key
         )
         self.stats.enqueued_packets += 1
@@ -124,7 +128,10 @@ class BfcEgressDiscipline:
     # ------------------------------------------------------------------ dequeue --
 
     def dequeue(self) -> Optional[Packet]:
-        result = self.scheduler.pop(self._queue_eligible)
+        # With no downstream pause filter installed every queue is eligible;
+        # passing None lets the DRR skip the per-queue callback entirely.
+        eligible = self._queue_eligible if self.downstream_filter is not None else None
+        result = self.scheduler.pop(eligible)
         if result is None:
             return None
         packet, source_queue = result
@@ -134,21 +141,22 @@ class BfcEgressDiscipline:
 
     def _queue_eligible(self, qid: int) -> bool:
         """A queue may be served unless its head packet is paused downstream."""
-        if self.downstream_filter is None:
+        filt = self.downstream_filter
+        if filt is None:
             return True
         head = self.scheduler.head_packet(qid)
         if head is None:
             return False
-        vfid = packet_vfid(head, self.config.num_vfids)
-        return not self.agent.codec.contains(self.downstream_filter, vfid)
+        vfid = packet_vfid(head, self._num_vfids)
+        return not self._codec.contains(filt, vfid)
 
     def _handle_departure(self, packet: Packet, source_queue: int) -> None:
         if source_queue == OVERFLOW_QUEUE:
             # Overflow-queue packets belong to flows without a table entry.
             return
-        vfid = packet_vfid(packet, self.config.num_vfids)
+        vfid = packet_vfid(packet, self._num_vfids)
         ingress = packet.cur_ingress
-        entry = self.agent.flow_table.lookup(vfid, ingress, self.egress_index)
+        entry = self._flow_table.lookup(vfid, ingress, self.egress_index)
         if entry is None:
             return
         entry.packets -= 1
@@ -209,6 +217,8 @@ class BfcEgressDiscipline:
         """
         resumed: List[Tuple[int, int]] = []
         for lst in self.resume_lists.values():
+            if not lst:
+                continue  # lists persist after draining; skip the empty ones
             for _ in range(self.config.resumes_per_interval):
                 item = lst.pop()
                 if item is None:
@@ -226,10 +236,15 @@ class BfcEgressDiscipline:
 
     def active_queue_count(self) -> int:
         """Nactive: non-empty queues whose head is not paused downstream."""
-        count = 0
-        for qid in self.scheduler.nonempty_queues():
-            if self._queue_eligible(qid):
-                count += 1
+        nonempty = self.scheduler.nonempty_ids()
+        if self.downstream_filter is None:
+            count = len(nonempty)
+        else:
+            eligible = self._queue_eligible
+            count = 0
+            for qid in nonempty:
+                if eligible(qid):
+                    count += 1
         return max(1, count)
 
     def apply_downstream_filter(self, bitmap: Optional[bytes]) -> None:

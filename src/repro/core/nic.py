@@ -55,16 +55,17 @@ class BfcNicScheduler(NicScheduler):
     def _flow_vfid(self, fstate: SenderFlowState) -> int:
         vfid = fstate.cc_state.get("bfc_vfid")
         if vfid is None:
-            vfid = fstate.flow.key().vfid(self.config.num_vfids)
+            vfid = fstate.key.vfid(self.config.num_vfids)
             fstate.cc_state["bfc_vfid"] = vfid
-        return int(vfid)
+        return vfid
 
     def _flow_is_paused(self, fstate: SenderFlowState) -> bool:
         if fstate.paused:
             return True
-        if self.pause_filter is None:
+        filt = self.pause_filter
+        if filt is None:
             return False
-        return self.codec.contains(self.pause_filter, self._flow_vfid(fstate))
+        return self.codec.contains(filt, self._flow_vfid(fstate))
 
     def paused_flow_count(self) -> int:
         """Flows currently blocked by the pause filter (for tests/analysis)."""

@@ -34,11 +34,20 @@ class PauseThresholds:
         self._feedback_bytes = (
             (self.hop_rtt_ns + self.pause_interval_ns) * link_rate_bps / (8 * 1e9)
         )
+        # Th is queried once per enqueued/dequeued packet and only ever for
+        # n_active in [1, num_physical_queues + 1]; memoize per count.
+        self._by_count: dict = {}
 
     def threshold_bytes(self, active_queues: int) -> float:
         """Th for a physical queue given the current number of active queues."""
-        n_active = max(1, active_queues)
-        return self.config.pause_threshold_factor * self._feedback_bytes / n_active
+        n_active = active_queues if active_queues > 1 else 1
+        threshold = self._by_count.get(n_active)
+        if threshold is None:
+            threshold = (
+                self.config.pause_threshold_factor * self._feedback_bytes / n_active
+            )
+            self._by_count[n_active] = threshold
+        return threshold
 
     def feedback_delay_ns(self) -> int:
         return self.hop_rtt_ns + self.pause_interval_ns

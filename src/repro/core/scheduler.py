@@ -10,13 +10,16 @@ Service order at a BFC egress port is:
    scheduled like a normal physical queue.
 
 The scheduler only stores packets and picks the next one; pause/resume policy
-lives in :mod:`repro.core.discipline`.
+lives in :mod:`repro.core.discipline`.  The set of non-empty queues is
+maintained incrementally on push/pop so the per-packet pause-threshold
+computation (which needs the active-queue count) never scans the whole queue
+array.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Set, Tuple
 
 from repro.sim.disciplines import DeficitRoundRobin
 from repro.sim.packet import Packet
@@ -43,6 +46,9 @@ class BfcScheduler:
         self._overflow_bytes = 0
         self._total_bytes = 0
         self._total_packets = 0
+        # Physical queues (and the overflow pseudo-queue) currently holding
+        # packets; excludes the high-priority queue, like nonempty_queues().
+        self._nonempty: Set[int] = set()
         self._drr = DeficitRoundRobin(quantum=config.mtu + 48)
 
     # -- enqueue -----------------------------------------------------------------
@@ -50,37 +56,40 @@ class BfcScheduler:
     def push_high_priority(self, packet: Packet) -> None:
         self._high_priority.append(packet)
         self._high_priority_bytes += packet.size
-        self._account(packet, +1)
+        self._total_bytes += packet.size
+        self._total_packets += 1
 
     def push_queue(self, queue: int, packet: Packet) -> None:
         self._queues[queue].append(packet)
         self._queue_bytes[queue] += packet.size
+        self._nonempty.add(queue)
         self._drr.activate(queue)
-        self._account(packet, +1)
+        self._total_bytes += packet.size
+        self._total_packets += 1
 
     def push_overflow(self, packet: Packet) -> None:
         self._overflow.append(packet)
         self._overflow_bytes += packet.size
+        self._nonempty.add(OVERFLOW_QUEUE)
         self._drr.activate(OVERFLOW_QUEUE)
-        self._account(packet, +1)
-
-    def _account(self, packet: Packet, direction: int) -> None:
-        self._total_bytes += direction * packet.size
-        self._total_packets += direction
+        self._total_bytes += packet.size
+        self._total_packets += 1
 
     # -- dequeue ------------------------------------------------------------------
 
-    def pop(self, queue_eligible: Callable[[int], bool]) -> Optional[Tuple[Packet, int]]:
+    def pop(self, queue_eligible: Optional[Callable[[int], bool]]) -> Optional[Tuple[Packet, int]]:
         """Pick the next packet to send.
 
         ``queue_eligible(queue_id)`` decides whether a (physical or overflow)
         queue may be served right now — the discipline uses it to implement
-        Bloom-filter pauses.  Returns ``(packet, source_queue)`` or ``None``.
+        Bloom-filter pauses (``None`` means every queue is eligible).
+        Returns ``(packet, source_queue)`` or ``None``.
         """
         if self._high_priority:
             packet = self._high_priority.popleft()
             self._high_priority_bytes -= packet.size
-            self._account(packet, -1)
+            self._total_bytes -= packet.size
+            self._total_packets -= 1
             return packet, HIGH_PRIORITY_QUEUE
         qid = self._drr.select(self._head_size, eligible=queue_eligible)
         if qid is None:
@@ -89,13 +98,17 @@ class BfcScheduler:
             packet = self._overflow.popleft()
             self._overflow_bytes -= packet.size
             if not self._overflow:
+                self._nonempty.discard(OVERFLOW_QUEUE)
                 self._drr.deactivate(OVERFLOW_QUEUE)
         else:
-            packet = self._queues[qid].popleft()
+            queue = self._queues[qid]
+            packet = queue.popleft()
             self._queue_bytes[qid] -= packet.size
-            if not self._queues[qid]:
+            if not queue:
+                self._nonempty.discard(qid)
                 self._drr.deactivate(qid)
-        self._account(packet, -1)
+        self._total_bytes -= packet.size
+        self._total_packets -= 1
         return packet, qid
 
     def _head_size(self, qid: int) -> Optional[int]:
@@ -128,10 +141,14 @@ class BfcScheduler:
             return len(self._high_priority)
         return len(self._queues[qid])
 
+    def nonempty_ids(self) -> Set[int]:
+        """Live view of the non-empty queue ids (do not mutate)."""
+        return self._nonempty
+
     def nonempty_queues(self) -> List[int]:
         """Physical queues (and the overflow queue) that hold packets."""
-        result = [qid for qid in range(self.num_queues) if self._queues[qid]]
-        if self._overflow:
+        result = sorted(qid for qid in self._nonempty if qid != OVERFLOW_QUEUE)
+        if OVERFLOW_QUEUE in self._nonempty:
             result.append(OVERFLOW_QUEUE)
         return result
 

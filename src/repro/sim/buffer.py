@@ -75,16 +75,19 @@ class SharedBuffer:
         """
         if size < 0:
             raise ValueError("packet size must be non-negative")
-        if not self.can_admit(size):
-            self.stats.dropped_packets += 1
-            self.stats.dropped_bytes += size
+        stats = self.stats
+        used = self.used + size
+        if used > self.capacity:
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             return False
-        self.used += size
-        self.per_ingress[ingress] = self.per_ingress.get(ingress, 0) + size
-        self.stats.admitted_packets += 1
-        self.stats.admitted_bytes += size
-        if self.used > self.stats.max_occupancy:
-            self.stats.max_occupancy = self.used
+        self.used = used
+        per_ingress = self.per_ingress
+        per_ingress[ingress] = per_ingress.get(ingress, 0) + size
+        stats.admitted_packets += 1
+        stats.admitted_bytes += size
+        if used > stats.max_occupancy:
+            stats.max_occupancy = used
         return True
 
     def release(self, size: int, ingress: int) -> None:

@@ -90,38 +90,45 @@ class DeficitRoundRobin:
             Optional callable mapping a queue id to a bool; ineligible queues
             (e.g. paused ones) are skipped without losing their deficit.
         """
-        if not self._active:
+        active = self._active
+        if not active:
             self._current = None
             return None
+        deficits = self._deficits
         visited = 0
-        limit = 2 * len(self._active) + 1
+        limit = 2 * len(active) + 1
+        # While a queue is active its deficit key is guaranteed present
+        # (activate() inserts it, deactivate() clears _current), so plain
+        # indexing is safe below.
         while True:
-            if self._current is not None:
-                qid = self._current
+            qid = self._current
+            if qid is not None:
                 size = head_size(qid)
-                ok = eligible(qid) if eligible is not None else True
-                if size is not None and ok and self._deficits.get(qid, 0) >= size:
-                    self._deficits[qid] -= size
+                if (
+                    size is not None
+                    and (eligible is None or eligible(qid))
+                    and deficits[qid] >= size
+                ):
+                    deficits[qid] -= size
                     return qid
                 # This queue's turn is over: empty queues forfeit their deficit,
                 # blocked/backlogged queues keep the remainder.
                 if size is None:
-                    self._deficits[qid] = 0
+                    deficits[qid] = 0
                 self._current = None
                 continue
-            if visited >= limit or not self._active:
+            if visited >= limit or not active:
                 return None
             visited += 1
-            self._cursor %= len(self._active)
-            qid = self._active[self._cursor]
-            self._cursor = (self._cursor + 1) % len(self._active)
+            cursor = self._cursor % len(active)
+            qid = active[cursor]
+            self._cursor = (cursor + 1) % len(active)
             size = head_size(qid)
-            ok = eligible(qid) if eligible is not None else True
-            if size is None or not ok:
+            if size is None or not (eligible is None or eligible(qid)):
                 continue
             # Arriving at a backlogged, eligible queue: grant its quantum and
             # start serving it.
-            self._deficits[qid] = self._deficits.get(qid, 0) + self.quantum
+            deficits[qid] += self.quantum
             self._current = qid
 
 

@@ -1,8 +1,18 @@
 """Discrete-event simulation engine.
 
-The engine is deliberately small: a binary-heap event queue keyed by
-``(time, sequence_number)`` so that events scheduled for the same instant run
-in FIFO order, which keeps every run deterministic for a fixed seed.
+The engine is deliberately small: a binary-heap event queue of plain
+``(time, seq, callback, args)`` tuples keyed by ``(time, sequence_number)``
+so that events scheduled for the same instant run in FIFO order, which keeps
+every run deterministic for a fixed seed.  Tuples (rather than event objects)
+keep heap comparisons entirely in C: ``seq`` is unique, so an ordering
+decision never looks past the first two integers.
+
+Cancellation is handled by the :class:`Event` handle that
+:meth:`Simulator.schedule` returns: cancelled sequence numbers are recorded
+in a side set and skipped when popped (lazy deletion).  When cancelled
+entries come to dominate the heap, the queue is compacted in place so that
+long-running simulations with heavy cancel traffic (retransmission timers,
+pacing wake-ups) do not leak heap memory.
 
 Typical usage::
 
@@ -15,32 +25,48 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+import sys
 from typing import Any, Callable, Optional
+
+#: Sentinel "time" larger than any reachable simulated instant; lets the run
+#: loop use one integer comparison instead of a per-event None check.
+_NEVER = sys.maxsize
+
+#: Compact the heap only when at least this many events are cancelled *and*
+#: cancelled entries outnumber live ones.  Small runs never pay for it.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A single scheduled callback.
+    """Handle for one scheduled callback.
 
-    Events compare by ``(time, seq)`` which is exactly the order in which the
-    engine fires them.  ``cancelled`` events stay in the heap but are skipped
-    when popped (lazy deletion).
+    The heap itself stores plain tuples; this handle carries just enough to
+    cancel the entry (and for callers to inspect when it would fire).  The
+    ``cancelled`` flag is sticky, exactly like the pre-tuple event object:
+    it stays ``True`` even after the engine has discarded the heap entry.
     """
 
-    time: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "cancelled", "_sim")
+
+    def __init__(self, time: int, seq: int, sim: "Simulator") -> None:
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._cancel(self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} seq={self.seq} {state}>"
 
 
 class Simulator:
@@ -53,22 +79,25 @@ class Simulator:
         need randomness (ECMP hashing salt, ECN marking, random queue picks)
         should derive their generators from :meth:`rng` so a whole experiment
         is reproducible from a single seed.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in nanoseconds.  A plain attribute (not a
+        property) so the per-event hot paths read it without descriptor
+        overhead; treat it as read-only.
     """
 
     def __init__(self, seed: int = 1) -> None:
-        self._now: int = 0
+        self.now: int = 0
         self._seq: int = 0
-        self._queue: list[Event] = []
+        self._queue: list = []
+        self._cancelled: set = set()
         self._rng = random.Random(seed)
         self._events_processed: int = 0
         self._running = False
 
     # -- clock ------------------------------------------------------------
-
-    @property
-    def now(self) -> int:
-        """Current simulated time in nanoseconds."""
-        return self._now
 
     @property
     def events_processed(self) -> int:
@@ -85,22 +114,67 @@ class Simulator:
         """Schedule *callback(\\*args)* to run ``delay_ns`` from now."""
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
-        return self.schedule_at(self._now + int(delay_ns), callback, *args)
+        time_ns = self.now + int(delay_ns)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time_ns, seq, callback, args))
+        return Event(time_ns, seq, self)
 
     def schedule_at(self, time_ns: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule *callback(\\*args)* at absolute time ``time_ns``."""
-        if time_ns < self._now:
+        if time_ns < self.now:
             raise SimulationError(
-                f"cannot schedule at {time_ns} ns, current time is {self._now} ns"
+                f"cannot schedule at {time_ns} ns, current time is {self.now} ns"
             )
-        event = Event(time=int(time_ns), seq=self._seq, callback=callback, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return event
+        time_ns = int(time_ns)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time_ns, seq, callback, args))
+        return Event(time_ns, seq, self)
+
+    def post(self, delay_ns: int, callback: Callable[..., None], *args: Any) -> None:
+        """Like :meth:`schedule`, but fire-and-forget: no cancellation handle.
+
+        The per-packet layers (serialization done, propagation delivery) never
+        cancel their follow-on events, so they use this entry point to skip
+        the handle allocation entirely.
+        """
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self.now + int(delay_ns), seq, callback, args))
 
     def pending_events(self) -> int:
-        """Number of events currently in the queue (including cancelled ones)."""
+        """Number of events currently in the queue (including cancelled ones
+        that have not been reaped by a pop or a compaction yet)."""
         return len(self._queue)
+
+    # -- cancellation ------------------------------------------------------
+
+    def _cancel(self, seq: int) -> None:
+        cancelled = self._cancelled
+        cancelled.add(seq)
+        if (
+            len(cancelled) >= _COMPACT_MIN_CANCELLED
+            and len(cancelled) * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap in place.
+
+        In-place (slice assignment) because a running event loop holds a
+        reference to the same list; rebinding ``self._queue`` would strand it.
+        Clearing the cancelled set also reaps sequence numbers cancelled
+        after their event already fired, so neither structure grows without
+        bound.
+        """
+        queue = self._queue
+        cancelled = self._cancelled
+        queue[:] = [entry for entry in queue if entry[1] not in cancelled]
+        heapq.heapify(queue)
+        cancelled.clear()
 
     # -- execution --------------------------------------------------------
 
@@ -128,31 +202,43 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run call)")
         self._running = True
+        # Local bindings: every name in the loop body below resolves without
+        # a dict lookup.  The queue and cancelled set are mutated only in
+        # place elsewhere (push/compact), so the local aliases stay valid.
+        queue = self._queue
+        cancelled = self._cancelled
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        stop_after = _NEVER if until is None else until
+        cap = _NEVER if max_events is None else max_events
         processed = 0
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                if processed >= cap:
+                    break
+                entry = heappop(queue)
+                time, seq, callback, args = entry
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
                     continue
-                if until is not None and event.time > until:
+                if time > stop_after:
+                    heappush(queue, entry)
                     break
-                if max_events is not None and processed >= max_events:
-                    break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                event.callback(*event.args)
+                self.now = time
+                callback(*args)
                 processed += 1
-                self._events_processed += 1
         finally:
             self._running = False
-        if until is not None and self._now < until and (
-            not self._queue or self._queue[0].time > until or (max_events is None)
+            self._events_processed += processed
+        # Advance the clock to the end of the requested window unless we
+        # stopped early because of the event cap (in which case the next run
+        # call must resume from the stop time, not from `until`).
+        if (
+            until is not None
+            and self.now < until
+            and (max_events is None or processed < max_events)
         ):
-            # Advance the clock to the end of the requested window unless we
-            # stopped early because of the event cap.
-            if max_events is None or processed < max_events:
-                self._now = until
+            self.now = until
         return processed
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:

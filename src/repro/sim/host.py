@@ -24,7 +24,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
-from . import units
 from .disciplines import DeficitRoundRobin
 from .flow import Flow
 from .node import Node
@@ -92,6 +91,7 @@ class SenderFlowState:
 
     __slots__ = (
         "flow",
+        "key",
         "num_packets",
         "next_seq",
         "una",
@@ -107,6 +107,9 @@ class SenderFlowState:
 
     def __init__(self, flow: Flow, mtu: int) -> None:
         self.flow = flow
+        # One FlowKey per flow, shared by every packet the flow emits (the
+        # key caches its hash and VFID digest, so sharing it matters).
+        self.key = flow.key()
         self.mtu = mtu
         self.num_packets = max(1, math.ceil(flow.size / mtu))
         flow.num_packets = self.num_packets
@@ -241,6 +244,10 @@ class NicScheduler:
         self._drr = DeficitRoundRobin(quantum=host.config.mtu + DATA_HEADER_SIZE)
         self._flows: Dict[int, SenderFlowState] = {}
         self._wakeup_event = None
+        # Timestamp the current dequeue()'s eligibility checks evaluate
+        # against; letting _eligible_id be a plain bound method keeps the
+        # per-dequeue path free of closure allocations.
+        self._select_now = 0
 
     # -- flow management ------------------------------------------------------
 
@@ -266,17 +273,19 @@ class NicScheduler:
         return fstate.paused
 
     def _eligible(self, fstate: SenderFlowState, now_ns: int) -> bool:
-        if not fstate.has_packets_to_send():
-            return False
+        retransmit = fstate.retransmit_queue
+        if not retransmit and fstate.next_seq >= fstate.num_packets:
+            return False  # nothing left to send
         if self._flow_is_paused(fstate):
             return False
         if fstate.next_allowed_ns > now_ns:
             return False
-        if fstate.retransmit_queue:
+        if retransmit:
             # Retransmissions do not grow the in-flight window.
             return True
-        window = self.host.effective_window(fstate)
-        if window is not None and fstate.inflight_bytes() + self.host.config.mtu > window:
+        host = self.host
+        window = host.effective_window(fstate)
+        if window is not None and fstate.inflight_bytes() + host.config.mtu > window:
             return False
         return True
 
@@ -296,26 +305,33 @@ class NicScheduler:
 
     def dequeue(self) -> Optional[Packet]:
         now = self.host.sim.now
-        flow_id = self._drr.select(
-            head_size=lambda fid: self._head_size(fid),
-            eligible=lambda fid: self._eligible(self._flows[fid], now),
-        )
+        self._select_now = now
+        flow_id = self._drr.select(self._head_size, self._eligible_id)
         if flow_id is None:
             self._schedule_wakeup(now)
             return None
-        fstate = self._flows[flow_id]
-        packet = self.host.build_data_packet(fstate)
-        return packet
+        return self.host.build_data_packet(self._flows[flow_id])
+
+    def _eligible_id(self, flow_id: int) -> bool:
+        return self._eligible(self._flows[flow_id], self._select_now)
 
     def _head_size(self, flow_id: int) -> Optional[int]:
         fstate = self._flows.get(flow_id)
-        if fstate is None or not fstate.has_packets_to_send():
+        if fstate is None:
             return None
-        if fstate.retransmit_queue:
-            seq = fstate.retransmit_queue[0]
+        retransmit = fstate.retransmit_queue
+        if retransmit:
+            seq = retransmit[0]
         else:
             seq = fstate.next_seq
-        return fstate.packet_payload(seq) + DATA_HEADER_SIZE
+            if seq >= fstate.num_packets:
+                return None
+        # packet_payload(), inlined: full MTU except possibly the last packet.
+        num_packets = fstate.num_packets
+        if seq < num_packets - 1:
+            return fstate.mtu + DATA_HEADER_SIZE
+        last = fstate.flow.size - fstate.mtu * (num_packets - 1)
+        return (last if last > 0 else fstate.mtu) + DATA_HEADER_SIZE
 
     def backlog_bytes(self) -> int:
         total = 0
@@ -366,13 +382,23 @@ class Host(Node):
         self.nic: NicScheduler = (nic_class or NicScheduler)(self)
         self.receivers: Dict[int, ReceiverFlowState] = {}
         self.counters = Counters()
+        # Direct alias of the counter dict for the per-packet increments.
+        self._cv = self.counters.values
         self.on_flow_complete: Optional[Callable[[Flow, int], None]] = None
+        # Cached uplink port/rate (set by the first add_interface); the
+        # per-packet send path goes through these instead of the
+        # interfaces[0].tx property chain.
+        self._uplink_port = None
+        self._uplink_rate = 0.0
 
     # -- wiring ------------------------------------------------------------------
 
     def add_interface(self, rate_bps: float, delay_ns: int, link_class: str = "link"):
         iface = super().add_interface(rate_bps, delay_ns, link_class)
         iface.tx.discipline = self.nic
+        if self._uplink_port is None:
+            self._uplink_port = iface.tx
+            self._uplink_rate = rate_bps
         if self.cc is None:
             factory = self._cc_factory or (lambda rate: CongestionControl(rate))
             self.cc = factory(rate_bps)
@@ -385,20 +411,20 @@ class Host(Node):
 
     def kick(self) -> None:
         """Ask the egress port to re-evaluate whether it can transmit."""
-        if self.interfaces:
-            self.uplink.tx.notify()
+        port = self._uplink_port
+        if port is not None:
+            port.kick()
 
     def effective_window(self, fstate: SenderFlowState) -> Optional[int]:
         """The binding window for a flow (CC window and static cap combined)."""
-        caps = []
-        if self.config.window_cap_bytes is not None:
-            caps.append(self.config.window_cap_bytes)
-        cc_window = self.cc.window_bytes(fstate) if self.cc else None
-        if cc_window is not None:
-            caps.append(cc_window)
-        if not caps:
-            return None
-        return min(caps)
+        cc = self.cc
+        cc_window = cc.window_bytes(fstate) if cc else None
+        cap = self.config.window_cap_bytes
+        if cap is None:
+            return cc_window
+        if cc_window is None:
+            return cap
+        return cap if cap < cc_window else cc_window
 
     # -- sending ------------------------------------------------------------------
 
@@ -427,6 +453,8 @@ class Host(Node):
         precedence over new data and do not advance the send pointer.
         """
         flow = fstate.flow
+        now = self.sim.now
+        config = self.config
         retransmission = bool(fstate.retransmit_queue)
         if retransmission:
             seq = fstate.retransmit_queue.popleft()
@@ -436,13 +464,13 @@ class Host(Node):
         packet = Packet(
             kind=PacketKind.DATA,
             flow_id=flow.flow_id,
-            key=flow.key(),
+            key=fstate.key,
             size=payload + DATA_HEADER_SIZE,
             seq=seq,
             flow_size=flow.size,
-            created_ns=self.sim.now,
-            int_enabled=self.config.int_enabled,
-            first_of_flow=(seq == 0 and self.config.mark_first_packet),
+            created_ns=now,
+            int_enabled=config.int_enabled,
+            first_of_flow=(seq == 0 and config.mark_first_packet),
             last_of_flow=(seq == fstate.num_packets - 1),
         )
         if retransmission:
@@ -451,14 +479,22 @@ class Host(Node):
         else:
             fstate.next_seq = seq + 1
         if flow.first_tx_ns is None:
-            flow.first_tx_ns = self.sim.now
-        rate = self.cc.rate_bps(fstate) if self.cc else self.uplink.rate_bps
-        rate = max(1.0, min(rate, self.uplink.rate_bps))
-        pace_ns = units.transmission_time_ns(packet.size, rate)
-        fstate.next_allowed_ns = max(fstate.next_allowed_ns, self.sim.now) + pace_ns
-        if self.cc:
-            self.cc.on_packet_sent(fstate, packet, self.sim.now)
-        self.counters.incr("data_packets_sent")
+            flow.first_tx_ns = now
+        cc = self.cc
+        uplink_rate = self._uplink_rate
+        rate = cc.rate_bps(fstate) if cc else uplink_rate
+        rate = max(1.0, min(rate, uplink_rate))
+        # Pacing delay; must stay arithmetically identical to
+        # units.transmission_time_ns (integer product, then float divide).
+        pace_ns = int(round(packet.size * 8 * 1_000_000_000 / rate))
+        if pace_ns < 1:
+            pace_ns = 1
+        allowed = fstate.next_allowed_ns
+        fstate.next_allowed_ns = (allowed if allowed > now else now) + pace_ns
+        if cc:
+            cc.on_packet_sent(fstate, packet, now)
+        cv = self._cv
+        cv["data_packets_sent"] = cv.get("data_packets_sent", 0) + 1
         return packet
 
     # -- receive path ----------------------------------------------------------------
@@ -488,7 +524,8 @@ class Host(Node):
     # .. receiver side ...........................................................
 
     def _handle_data(self, packet: Packet) -> None:
-        self.counters.incr("data_packets_received")
+        cv = self._cv
+        cv["data_packets_received"] = cv.get("data_packets_received", 0) + 1
         rstate = self.receivers.get(packet.flow_id)
         if rstate is None:
             rstate = ReceiverFlowState(
@@ -548,8 +585,9 @@ class Host(Node):
         if packet.int_enabled:
             ack.int_enabled = False
             ack.int_stack = list(packet.int_stack)
-        self.uplink.tx.send_control(ack)
-        self.counters.incr("acks_sent")
+        self._uplink_port.send_control(ack)
+        cv = self._cv
+        cv["acks_sent"] = cv.get("acks_sent", 0) + 1
 
     def _send_nack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
         if rstate.last_nack_seq == rstate.expected_seq:
@@ -563,7 +601,7 @@ class Host(Node):
             ack_seq=rstate.expected_seq,
             created_ns=self.sim.now,
         )
-        self.uplink.tx.send_control(nack)
+        self._uplink_port.send_control(nack)
         self.counters.incr("nacks_sent")
 
     def _maybe_send_cnp(self, packet: Packet, rstate: ReceiverFlowState) -> None:
@@ -578,7 +616,7 @@ class Host(Node):
             size=CNP_SIZE,
             created_ns=now,
         )
-        self.uplink.tx.send_control(cnp)
+        self._uplink_port.send_control(cnp)
         self.counters.incr("cnps_sent")
 
     # .. sender side ...............................................................

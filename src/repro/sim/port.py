@@ -14,6 +14,11 @@ Every egress port has two classes of traffic:
 
 This mirrors how RoCE deployments carry congestion-notification and pause
 traffic on a separate priority class.
+
+``kick`` / ``_transmission_done`` run once per transmitted packet and are the
+hottest functions in the whole simulator; they avoid helper-function hops and
+update the byte meter fields in place.  The ``on_data_dequeue`` /
+``on_data_transmitted`` hooks cost a single ``None`` check when uninstalled.
 """
 
 from __future__ import annotations
@@ -21,7 +26,6 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
-from . import units
 from .packet import Packet
 from .stats import ByteMeter, PauseMeter
 
@@ -78,9 +82,11 @@ class EgressPort:
         self.pfc_meter = PauseMeter()
         self.bytes = ByteMeter()
         self.tx_data_bytes_total = 0  # cumulative, used for HPCC INT
-        # Hooks the owning node may install.
-        self.on_data_dequeue: Optional[Callable[[Packet], None]] = None
-        self.on_data_transmitted: Optional[Callable[[Packet], None]] = None
+        # Hooks the owning node may install; called as hook(packet,
+        # iface_index) right after a data packet leaves the discipline /
+        # finishes serializing.
+        self.on_data_dequeue: Optional[Callable[[Packet, int], None]] = None
+        self.on_data_transmitted: Optional[Callable[[Packet, int], None]] = None
 
     # -- wiring --------------------------------------------------------------
 
@@ -108,7 +114,7 @@ class EgressPort:
 
     def send_control(self, packet: Packet) -> None:
         """Queue a control packet for transmission at strict priority."""
-        if not packet.is_control():
+        if not packet.is_control:
             raise ValueError("send_control() is only for control packets")
         self.control_queue.append(packet)
         self.kick()
@@ -119,35 +125,41 @@ class EgressPort:
 
     def kick(self) -> None:
         """Start transmitting the next eligible packet if the line is idle."""
-        if self.busy or not self.connected:
+        if self.busy or self.peer_node is None:
             return
-        packet = self._next_packet()
-        if packet is None:
-            return
-        self.busy = True
-        tx_ns = units.transmission_time_ns(packet.size, self.rate_bps)
-        self.sim.schedule(tx_ns, self._transmission_done, packet)
-
-    def _next_packet(self) -> Optional[Packet]:
         if self.control_queue:
-            return self.control_queue.popleft()
-        if self.pfc_paused or self.discipline is None:
-            return None
-        packet = self.discipline.dequeue()
-        if packet is not None and self.on_data_dequeue is not None:
-            self.on_data_dequeue(packet)
-        return packet
+            packet = self.control_queue.popleft()
+        else:
+            discipline = self.discipline
+            if self.pfc_meter.paused or discipline is None:
+                return
+            packet = discipline.dequeue()
+            if packet is None:
+                return
+            hook = self.on_data_dequeue
+            if hook is not None:
+                hook(packet, self.iface_index)
+        self.busy = True
+        # Serialization delay; must stay arithmetically identical to
+        # units.transmission_time_ns (integer product, then float divide).
+        tx_ns = int(round(packet.size * 8 * 1_000_000_000 / self.rate_bps))
+        self.sim.post(tx_ns if tx_ns > 0 else 1, self._transmission_done, packet)
 
     def _transmission_done(self, packet: Packet) -> None:
         self.busy = False
-        is_control = packet.is_control()
-        self.bytes.record(packet.size, is_control)
-        if not is_control:
-            self.tx_data_bytes_total += packet.size
-            if self.on_data_transmitted is not None:
-                self.on_data_transmitted(packet)
-        peer_node, peer_iface = self.peer_node, self.peer_iface
-        self.sim.schedule(self.delay_ns, peer_node.receive, packet, peer_iface)
+        meter = self.bytes
+        size = packet.size
+        if packet.is_control:
+            meter.control_bytes += size
+            meter.control_packets += 1
+        else:
+            meter.data_bytes += size
+            meter.data_packets += 1
+            self.tx_data_bytes_total += size
+            hook = self.on_data_transmitted
+            if hook is not None:
+                hook(packet, self.iface_index)
+        self.sim.post(self.delay_ns, self.peer_node.receive, packet, self.peer_iface)
         self.kick()
 
     # -- introspection ------------------------------------------------------------

@@ -84,32 +84,32 @@ class PauseMeter:
     :meth:`paused_time`.
     """
 
+    # ``paused`` is a plain attribute (not a property): the egress-port hot
+    # path reads it once per transmitted packet.  Toggle it only through
+    # :meth:`set_paused` so the time accounting stays correct.
+
     def __init__(self) -> None:
-        self._paused = False
+        self.paused = False
         self._paused_since: Optional[int] = None
         self._accumulated = 0
         self.pause_events = 0
 
-    @property
-    def paused(self) -> bool:
-        return self._paused
-
     def set_paused(self, paused: bool, now_ns: int) -> None:
-        if paused == self._paused:
+        if paused == self.paused:
             return
         if paused:
-            self._paused = True
+            self.paused = True
             self._paused_since = now_ns
             self.pause_events += 1
         else:
-            self._paused = False
+            self.paused = False
             if self._paused_since is not None:
                 self._accumulated += now_ns - self._paused_since
             self._paused_since = None
 
     def paused_time(self, now_ns: int) -> int:
         total = self._accumulated
-        if self._paused and self._paused_since is not None:
+        if self.paused and self._paused_since is not None:
             total += now_ns - self._paused_since
         return total
 

@@ -28,6 +28,11 @@ from .stats import Counters
 # PFC frames are link-local; they carry a dummy key.
 _PFC_KEY = FlowKey(src=-1, dst=-1, src_port=0, dst_port=0)
 
+#: Cap on the per-switch ECMP memo; ~64K live flow keys per switch is far
+#: beyond any scenario's working set, and clearing is cheap relative to
+#: recomputing the cached picks.
+_ROUTE_CACHE_LIMIT = 1 << 16
+
 
 @dataclass
 class EcnConfig:
@@ -71,6 +76,11 @@ class Switch(Node):
         self.int_enabled = int_enabled
         self.counters = Counters()
         self.routes: Dict[int, List[int]] = {}
+        # Memoized ECMP decision per flow key (the hash pick is a pure
+        # function of the key and this switch's salt); invalidated whenever
+        # the routing table changes, and reset wholesale when it exceeds
+        # _ROUTE_CACHE_LIMIT so million-flow runs don't grow it unboundedly.
+        self._route_cache: Dict[FlowKey, int] = {}
         self._pfc_sent: Dict[int, bool] = {}
         # CRC32 of the name keeps hashing deterministic across processes
         # (Python's str hash is randomised per interpreter run).
@@ -82,28 +92,38 @@ class Switch(Node):
     def add_interface(self, rate_bps: float, delay_ns: int, link_class: str = "link") -> Interface:
         iface = super().add_interface(rate_bps, delay_ns, link_class)
         iface.tx.discipline = self.discipline_factory(iface)
-        iface.tx.on_data_dequeue = lambda pkt, idx=iface.index: self._on_data_dequeue(pkt, idx)
+        iface.tx.on_data_dequeue = self._on_data_dequeue
         return iface
 
     def set_routes(self, routes: Dict[int, List[int]]) -> None:
         """Install the destination-host → egress-interface-list routing table."""
         self.routes = dict(routes)
+        self._route_cache.clear()
 
     def add_route(self, dst_host: int, iface_indices: List[int]) -> None:
         self.routes[dst_host] = list(iface_indices)
+        self._route_cache.clear()
 
     # -- routing ---------------------------------------------------------------
 
     def egress_for(self, packet: Packet) -> int:
         """Pick the egress interface for a packet (ECMP by flow-key hash)."""
-        dst = packet.key.dst
-        choices = self.routes.get(dst)
+        key = packet.key
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        choices = self.routes.get(key.dst)
         if not choices:
-            raise KeyError(f"{self.name}: no route to host {dst}")
+            raise KeyError(f"{self.name}: no route to host {key.dst}")
         if len(choices) == 1:
-            return choices[0]
-        index = (hash((packet.key, self._name_salt)) & 0x7FFFFFFF) % len(choices)
-        return choices[index]
+            egress = choices[0]
+        else:
+            egress = choices[(hash((key, self._name_salt)) & 0x7FFFFFFF) % len(choices)]
+        cache = self._route_cache
+        if len(cache) >= _ROUTE_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = egress
+        return egress
 
     # -- receive path ---------------------------------------------------------------
 
@@ -111,9 +131,8 @@ class Switch(Node):
         if packet.kind is PacketKind.BLOOM:
             self.handle_bloom(packet, iface_index)
             return
-        out_index = self.egress_for(packet)
-        out_iface = self.interfaces[out_index]
-        if packet.is_control():
+        out_iface = self.interfaces[self.egress_for(packet)]
+        if packet.is_control:
             out_iface.tx.send_control(packet)
             return
         self._admit_data(packet, iface_index, out_iface)
@@ -125,40 +144,42 @@ class Switch(Node):
     # -- data path ---------------------------------------------------------------
 
     def _admit_data(self, packet: Packet, in_index: int, out_iface: Interface) -> None:
+        tx = out_iface.tx
         if not self.buffer.admit(packet.size, in_index):
             self.counters.incr("dropped_packets")
             self.counters.incr("dropped_bytes", packet.size)
             return
         packet.cur_ingress = in_index
         packet.hops += 1
-        self._maybe_mark_ecn(packet, out_iface)
-        accepted = out_iface.tx.discipline.enqueue(packet, in_index)
-        if not accepted:
+        if self.ecn.enabled and packet.ecn_capable:
+            self._maybe_mark_ecn(packet, tx)
+        if not tx.discipline.enqueue(packet, in_index):
             # The discipline itself refused the packet (rare; e.g. a bounded
             # per-queue policy).  Treat it exactly like a buffer drop.
             self.buffer.release(packet.size, in_index)
             self.counters.incr("dropped_packets")
             self.counters.incr("dropped_bytes", packet.size)
             return
-        self.counters.incr("forwarded_packets")
-        out_iface.tx.notify()
-        self._check_pfc_pause(in_index)
+        values = self.counters.values
+        values["forwarded_packets"] = values.get("forwarded_packets", 0) + 1
+        tx.kick()
+        if self.pfc.enabled:
+            self._check_pfc_pause(in_index)
 
-    def _maybe_mark_ecn(self, packet: Packet, out_iface: Interface) -> None:
-        if not self.ecn.enabled or not packet.ecn_capable:
-            return
-        backlog = out_iface.tx.discipline.backlog_bytes()
-        prob = self.ecn.marking_probability(backlog)
+    def _maybe_mark_ecn(self, packet: Packet, tx) -> None:
+        # Caller has already checked ecn.enabled and packet.ecn_capable.
+        prob = self.ecn.marking_probability(tx.discipline.backlog_bytes())
         if prob > 0 and self._rng.random() < prob:
             packet.ecn_marked = True
             self.counters.incr("ecn_marked")
 
     def _on_data_dequeue(self, packet: Packet, iface_index: int) -> None:
-        ingress = getattr(packet, "cur_ingress", -1)
+        ingress = packet.cur_ingress
         if ingress >= 0:
             self.buffer.release(packet.size, ingress)
             packet.cur_ingress = -1
-            self._check_pfc_resume(ingress)
+            if self.pfc.enabled:
+                self._check_pfc_resume(ingress)
         if self.int_enabled and packet.int_enabled:
             port = self.interfaces[iface_index].tx
             packet.int_stack.append(

@@ -96,7 +96,19 @@ class EventTrace:
     # -- export ------------------------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps([e.as_dict() for e in self.events])
+        """Serialize the trace including its collector state.
+
+        The envelope carries ``capacity`` and ``truncated`` so that a
+        save/load round-trip restores the collector exactly (a loaded trace
+        keeps truncating at the same capacity).
+        """
+        return json.dumps(
+            {
+                "capacity": self.capacity,
+                "truncated": self.truncated,
+                "events": [e.as_dict() for e in self.events],
+            }
+        )
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="ascii") as handle:
@@ -104,10 +116,19 @@ class EventTrace:
 
     @classmethod
     def load(cls, path: str) -> "EventTrace":
-        trace = cls()
         with open(path, "r", encoding="ascii") as handle:
-            for record in json.loads(handle.read()):
-                trace.events.append(TraceEvent(**record))
+            payload = json.loads(handle.read())
+        if isinstance(payload, list):
+            # Legacy format: a bare event list with no collector state.
+            capacity, truncated, events = None, False, payload
+        else:
+            capacity = payload.get("capacity")
+            truncated = bool(payload.get("truncated", False))
+            events = payload.get("events", [])
+        trace = cls(capacity=capacity)
+        trace.truncated = truncated
+        for record in events:
+            trace.events.append(TraceEvent(**record))
         return trace
 
 

@@ -1,0 +1,124 @@
+"""The golden-records scenario: a fixed, deterministic kernel workload.
+
+The simulation kernel is refactored for speed from time to time; the contract
+every refactor must honour is *record-for-record equivalence*: the exact same
+experiment records (flow completions, counters, samples, event counts) as the
+kernel that produced the checked-in fixture.  This module defines the
+scenario once so that
+
+* ``tests/test_golden_records.py`` can recompute the records and compare them
+  against ``tests/golden/kernel_records.json``, and
+* ``python tests/golden_kernel.py --write`` can regenerate the fixture when a
+  *behavioural* change is intended (never as part of a pure perf refactor).
+
+The scenario is a shortened fig5a-style slice covering the three most
+distinct kernels: BFC (VFID table, Bloom pauses, physical queues), DCQCN
+(ECN marking + RNG draws) and HPCC (INT stamping), so a regression in any
+per-packet layer shows up as a record diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import fig5a_configs
+from repro.sim import units
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "kernel_records.json"
+
+#: Schemes exercised by the golden scenario (one per kernel family).
+GOLDEN_SCHEMES = ["BFC", "DCQCN", "HPCC"]
+
+#: Shortened run window (the fig5a tiny default is 600 us + drain).
+GOLDEN_DURATION_NS = units.microseconds(300)
+
+GOLDEN_SEED = 5
+
+
+def golden_configs():
+    """The fixed {scheme: ExperimentConfig} map of the golden scenario."""
+    configs = fig5a_configs("tiny", schemes=GOLDEN_SCHEMES, seed=GOLDEN_SEED)
+    return {
+        scheme: replace(config, duration_ns=GOLDEN_DURATION_NS)
+        for scheme, config in configs.items()
+    }
+
+
+def canonical_records(result: ExperimentResult) -> Dict[str, object]:
+    """Reduce one ExperimentResult to a JSON-stable, order-stable dict.
+
+    Everything simulation-determined is included (flow records, counters,
+    samples, event counts); wall-clock time is excluded.  Floats are kept as
+    floats: JSON round-trips doubles exactly, so equality is bit-for-bit.
+    """
+    flows: List[Dict[str, object]] = [
+        {
+            "flow_id": rec.flow_id,
+            "src": rec.src,
+            "dst": rec.dst,
+            "size": rec.size,
+            "start_ns": rec.start_ns,
+            "finish_ns": rec.finish_ns,
+            "slowdown": rec.slowdown,
+            "is_incast": rec.is_incast,
+            "tag": rec.tag,
+            "retransmissions": rec.retransmissions,
+        }
+        for rec in result.flow_stats.records
+    ]
+    return {
+        "scheme": result.scheme,
+        "flows_offered": result.flows_offered,
+        "events_processed": result.events_processed,
+        "dropped_packets": result.dropped_packets,
+        "collision_fraction": result.collision_fraction,
+        "switch_counters": dict(sorted(result.switch_counters.items())),
+        "vfid_stats": dict(sorted(result.vfid_stats.items())),
+        "utilization_per_receiver": {
+            str(host): value
+            for host, value in sorted(result.utilization_per_receiver.items())
+        },
+        "pause_fractions": {
+            cls: values for cls, values in sorted(result.pause_fractions.items())
+        },
+        "buffer_samples": list(result.buffer_sampler.samples),
+        "queue_samples": list(result.queue_sampler.queue_bytes),
+        "occupied_queue_samples": list(result.queue_sampler.occupied_queues),
+        "flows": flows,
+    }
+
+
+def compute_golden_records() -> Dict[str, Dict[str, object]]:
+    """Run the golden scenario and return {scheme: canonical record dict}."""
+    return {
+        scheme: canonical_records(run_experiment(config))
+        for scheme, config in golden_configs().items()
+    }
+
+
+def load_golden_fixture() -> Dict[str, Dict[str, object]]:
+    with open(GOLDEN_PATH, "r", encoding="ascii") as handle:
+        return json.load(handle)
+
+
+def write_golden_fixture() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    records = compute_golden_records()
+    with open(GOLDEN_PATH, "w", encoding="ascii") as handle:
+        json.dump(records, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({GOLDEN_PATH.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        write_golden_fixture()
+    else:
+        print(__doc__)
+        print("use --write to regenerate the fixture (intended changes only)")

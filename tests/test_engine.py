@@ -75,6 +75,60 @@ class TestCancellation:
         sim.run_until_idle()
         assert fired == ["a", "c"]
 
+    def test_cancel_is_idempotent(self, sim):
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancelled_flag_is_sticky(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        sim.run_until_idle()
+        assert event.cancelled
+
+    def test_handle_reports_fire_time(self, sim):
+        event = sim.schedule(25, lambda: None)
+        assert event.time == 25
+        event = sim.schedule_at(123, lambda: None)
+        assert event.time == 123
+
+    def test_mass_cancellation_does_not_leak_heap_memory(self, sim):
+        """Cancelled events must be compacted away, not retained until pop."""
+        handles = [sim.schedule(1_000_000 + i, lambda: None) for i in range(10_000)]
+        for handle in handles[:-1]:
+            handle.cancel()
+        # Compaction triggers once cancelled entries dominate; the heap must
+        # not still hold ~10k dead entries.
+        assert sim.pending_events() < 1_000
+        fired = sim.run_until_idle()
+        assert fired == 1
+
+    def test_compaction_preserves_order_and_live_events(self, sim):
+        order = []
+        live = []
+        for i in range(500):
+            handle = sim.schedule(10 * i + 10, order.append, i)
+            if i % 5 != 0:
+                handle.cancel()
+            else:
+                live.append(i)
+        sim.run_until_idle()
+        assert order == live
+
+    def test_cancel_after_fire_is_harmless(self, sim):
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        sim.run_until_idle()
+        event.cancel()  # stale cancel: the event already ran
+        assert fired == ["x"]
+        sim.schedule(20, fired.append, "y")
+        sim.run_until_idle()
+        assert fired == ["x", "y"]
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self, sim):
@@ -112,6 +166,60 @@ class TestRunControl:
     def test_clock_advances_to_until_even_with_no_events(self, sim):
         sim.run(until=5_000)
         assert sim.now == 5_000
+
+    def test_until_with_cancelled_events_at_head(self, sim):
+        """Cancelled events inside the window must not block the clock advance."""
+        fired = []
+        for i in range(5):
+            sim.schedule(10 + i, fired.append, i).cancel()
+        sim.schedule(40, fired.append, "live")
+        sim.run(until=100)
+        assert fired == ["live"]
+        assert sim.now == 100
+
+    def test_until_with_only_cancelled_events(self, sim):
+        for i in range(3):
+            sim.schedule(10 + i, lambda: None).cancel()
+        processed = sim.run(until=50)
+        assert processed == 0
+        assert sim.now == 50
+
+    def test_until_then_cancelled_beyond_window(self, sim):
+        """A cancelled event beyond ``until`` must not stop the clock short."""
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(200, fired.append, "late").cancel()
+        sim.run(until=100)
+        assert fired == ["a"]
+        assert sim.now == 100
+
+    def test_max_events_cap_does_not_advance_clock_to_until(self, sim):
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        sim.run(until=1_000, max_events=5)
+        # Stopped by the cap: the clock must stay at the last fired event so
+        # the next run() call resumes where this one stopped.
+        assert sim.now == 5
+        assert sim.run(until=1_000) == 5
+        assert sim.now == 1_000
+
+    def test_post_is_fire_and_forget(self, sim):
+        fired = []
+        assert sim.post(10, fired.append, "x") is None
+        sim.run_until_idle()
+        assert fired == ["x"]
+
+    def test_post_rejects_negative_delay(self, sim):
+        with pytest.raises(SimulationError):
+            sim.post(-5, lambda: None)
+
+    def test_post_and_schedule_share_fifo_order(self, sim):
+        fired = []
+        sim.post(10, fired.append, "a")
+        sim.schedule(10, fired.append, "b")
+        sim.post(10, fired.append, "c")
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
 
     def test_reentrant_run_rejected(self, sim):
         def recurse():

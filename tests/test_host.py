@@ -10,7 +10,7 @@ from repro.sim import units
 from repro.sim.buffer import PfcPolicy
 from repro.sim.disciplines import FifoDiscipline
 from repro.sim.flow import Flow
-from repro.sim.host import Host, HostConfig, WindowedCongestionControl
+from repro.sim.host import Host, HostConfig, SenderFlowState, WindowedCongestionControl
 from repro.sim.packet import PacketKind
 from repro.sim.port import connect
 from repro.sim.switch import Switch
@@ -101,6 +101,21 @@ class TestBasicTransfer:
         assert hosts[0].counters.get("data_packets_sent") == 5
         assert hosts[1].counters.get("data_packets_received") == 5
         assert hosts[1].counters.get("acks_sent") >= 1
+
+    def test_pacing_matches_units_formula(self, sim):
+        """The pacing arithmetic inlined in build_data_packet must track
+        units.transmission_time_ns exactly (same rounding, same >=1 clamp) —
+        drift changes packet timing and breaks the golden-records guarantee."""
+        rate = 7.3e9  # odd rate so rounding actually matters
+        hosts, _, _ = build_pair(sim, rate_bps=rate)
+        flow = Flow(src=0, dst=1, size=999, start_ns=0)
+        # Build the sender state directly (start_flow would kick the port,
+        # which pulls the first packet before we can observe the pacing).
+        fstate = SenderFlowState(flow, hosts[0].config.mtu)
+        packet = hosts[0].build_data_packet(fstate)
+        assert fstate.next_allowed_ns == units.transmission_time_ns(
+            packet.size, rate
+        )
 
     def test_flow_state_removed_after_full_ack(self, sim):
         hosts, _, _ = build_pair(sim)

@@ -58,14 +58,14 @@ class TestFlowKey:
 
 class TestPacket:
     def test_data_packet_is_not_control(self):
-        assert not make_data_packet().is_control()
+        assert not make_data_packet().is_control
 
     @pytest.mark.parametrize(
         "kind", [PacketKind.ACK, PacketKind.NACK, PacketKind.CNP, PacketKind.PFC, PacketKind.BLOOM]
     )
     def test_non_data_kinds_are_control(self, kind):
         packet = make_data_packet(kind=kind, size=64)
-        assert packet.is_control()
+        assert packet.is_control
 
     def test_payload_bytes_subtracts_header(self):
         packet = make_data_packet(size=1000 + DATA_HEADER_SIZE)

@@ -126,10 +126,27 @@ class TestTransmission:
         assert iface_a.tx.bytes.data_bytes == 1_000
         assert iface_a.tx.bytes.control_bytes == 64
 
+    @pytest.mark.parametrize("rate_bps", [1.0, 123_456.0, 2.5e9, 7.3e9, 400e9])
+    @pytest.mark.parametrize("size", [1, 64, 999, 1048, 9000])
+    def test_serialization_delay_matches_units_formula(self, sim, rate_bps, size):
+        """The tx-time arithmetic inlined in EgressPort.kick must track
+        units.transmission_time_ns exactly (same rounding, same >=1 clamp) —
+        any drift between the two changes event timing and breaks the
+        golden-records guarantee."""
+        a = RecordingNode(sim, "a")
+        b = RecordingNode(sim, "b")
+        iface_a, _ = connect(a, b, rate_bps=rate_bps, delay_ns=0)
+        iface_a.tx.discipline = FifoDiscipline()
+        iface_a.tx.discipline.enqueue(make_data_packet(size=size), 0)
+        iface_a.tx.notify()
+        sim.run_until_idle()
+        (received_at, _, _), = b.received
+        assert received_at == units.transmission_time_ns(size, rate_bps)
+
     def test_on_data_dequeue_hook_runs(self, sim, pair):
         a, b, iface_a, _ = pair
         seen = []
-        iface_a.tx.on_data_dequeue = seen.append
+        iface_a.tx.on_data_dequeue = lambda pkt, iface_index: seen.append(pkt)
         packet = make_data_packet()
         iface_a.tx.discipline.enqueue(packet, 0)
         iface_a.tx.notify()

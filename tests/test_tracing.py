@@ -66,6 +66,52 @@ class TestEventTrace:
         assert loaded.events[0].category == "nic.tx"
         assert loaded.events[0].time_ns == 1
 
+    def test_roundtrip_preserves_capacity_and_truncated(self, tmp_path):
+        trace = EventTrace(capacity=2)
+        for i in range(5):
+            trace.record(i, "x", "n", make_packet(seq=i))
+        assert trace.truncated
+        path = tmp_path / "trace.json"
+        trace.save(str(path))
+        loaded = EventTrace.load(str(path))
+        assert loaded.capacity == 2
+        assert loaded.truncated is True
+        assert len(loaded) == 2
+        # The restored collector keeps enforcing its capacity.
+        loaded.record(99, "x", "n", make_packet(seq=99))
+        assert len(loaded) == 2
+
+    def test_roundtrip_preserves_untruncated_state(self, tmp_path):
+        trace = EventTrace()
+        trace.record(1, "x", "n", make_packet())
+        path = tmp_path / "trace.json"
+        trace.save(str(path))
+        loaded = EventTrace.load(str(path))
+        assert loaded.capacity is None
+        assert loaded.truncated is False
+
+    def test_load_accepts_legacy_bare_list(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "legacy.json"
+        legacy = [
+            {
+                "time_ns": 7,
+                "category": "nic.tx",
+                "node": "h0",
+                "flow_id": 1,
+                "seq": 0,
+                "kind": "data",
+                "detail": "",
+            }
+        ]
+        path.write_text(_json.dumps(legacy), encoding="ascii")
+        loaded = EventTrace.load(str(path))
+        assert len(loaded) == 1
+        assert loaded.capacity is None
+        assert loaded.truncated is False
+        assert loaded.events[0].time_ns == 7
+
 
 class TestFlowTimelines:
     def test_timeline_from_manual_events(self):
