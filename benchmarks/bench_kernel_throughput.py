@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from dataclasses import replace
@@ -128,6 +129,12 @@ def run_benchmark(duration_us: int, repeats: int) -> Dict[str, object]:
         "total_wall_seconds": total_wall,
         "repeats": repeats,
         "python": platform.python_version(),
+        # Machine identity: events/sec is only comparable within one machine,
+        # so the CI regression gate (benchmarks/check_regression.py) uses
+        # these fields to decide whether to normalize across machines.
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "repro_version": __version__,
     }
 

@@ -13,7 +13,7 @@ bottleneck.  These helpers quantify how close a run comes:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.stats import FlowRecord
 

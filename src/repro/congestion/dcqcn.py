@@ -86,6 +86,9 @@ class DcqcnControl(CongestionControl):
     """The DCQCN sender algorithm."""
 
     name = "dcqcn"
+    # DCQCN is rate-based: its window_bytes override still returns None, so
+    # it restates the windowless promise for the NIC fast path.
+    has_window = False
 
     def __init__(self, line_rate_bps: float, config: Optional[DcqcnConfig] = None) -> None:
         super().__init__(line_rate_bps)
@@ -189,12 +192,15 @@ class DcqcnControl(CongestionControl):
 class DcqcnWindowedControl(DcqcnControl):
     """DCQCN with a per-flow window cap of one end-to-end BDP (DCQCN+Win).
 
+    ``has_window = True``: window_bytes returns a real cap (NIC fast path).
+
     The paper takes this variant from the HPCC paper: the cap limits the
     inflight bytes of a flow, reducing buffer occupancy without hurting
     throughput.
     """
 
     name = "dcqcn+win"
+    has_window = True
 
     def __init__(
         self,

@@ -66,6 +66,7 @@ class HpccControl(CongestionControl):
     """The HPCC sender algorithm."""
 
     name = "hpcc"
+    has_window = True
 
     def __init__(self, line_rate_bps: float, config: Optional[HpccConfig] = None) -> None:
         super().__init__(line_rate_bps)

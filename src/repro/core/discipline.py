@@ -17,7 +17,7 @@ This class glues the BFC mechanisms together for one egress port:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim.packet import Packet
@@ -62,6 +62,11 @@ class BfcEgressDiscipline:
         self.thresholds = PauseThresholds(self.config, link_rate_bps, link_delay_ns)
         self.resume_lists: Dict[int, ResumeList] = {}
         self.downstream_filter: Optional[bytes] = None
+        # Memoized per-VFID eligibility against the *current* downstream
+        # filter: the filter changes once per Bloom interval while
+        # eligibility is checked per dequeue and per active-queue count, and
+        # membership is a pure function of (filter, vfid).
+        self._eligible_memo: Dict[int, bool] = {}
         self.stats = BfcEgressStats()
         # Hot-path aliases (stable for the lifetime of the discipline).
         self._flow_table = agent.flow_table
@@ -148,7 +153,12 @@ class BfcEgressDiscipline:
         if head is None:
             return False
         vfid = packet_vfid(head, self._num_vfids)
-        return not self._codec.contains(filt, vfid)
+        memo = self._eligible_memo
+        eligible = memo.get(vfid)
+        if eligible is None:
+            eligible = not self._codec.contains(filt, vfid)
+            memo[vfid] = eligible
+        return eligible
 
     def _handle_departure(self, packet: Packet, source_queue: int) -> None:
         if source_queue == OVERFLOW_QUEUE:
@@ -250,6 +260,7 @@ class BfcEgressDiscipline:
     def apply_downstream_filter(self, bitmap: Optional[bytes]) -> None:
         """Install the most recent Bloom filter received from the next hop."""
         self.downstream_filter = bitmap
+        self._eligible_memo = {}
 
     def occupied_physical_queues(self) -> int:
         return self.pool.occupied_queues()

@@ -42,6 +42,11 @@ class BfcNicScheduler(NicScheduler):
         )
         self.pause_filter: Optional[bytes] = None
         self.bloom_frames_received = 0
+        # Memoized membership tests against the *current* pause filter: the
+        # filter changes once per Bloom interval while eligibility is checked
+        # on every dequeue, and ``contains`` is a pure function of
+        # (filter, vfid).  Reset whenever a new filter is installed.
+        self._paused_memo: dict = {}
 
     # -- pause frames -------------------------------------------------------------
 
@@ -49,6 +54,7 @@ class BfcNicScheduler(NicScheduler):
         """Install the pause filter shipped by the ToR switch."""
         self.pause_filter = packet.bloom_bits
         self.bloom_frames_received += 1
+        self._paused_memo = {}
 
     # -- eligibility ----------------------------------------------------------------
 
@@ -65,7 +71,16 @@ class BfcNicScheduler(NicScheduler):
         filt = self.pause_filter
         if filt is None:
             return False
-        return self.codec.contains(filt, self._flow_vfid(fstate))
+        vfid = fstate.cc_state.get("bfc_vfid")
+        if vfid is None:
+            vfid = fstate.key.vfid(self.config.num_vfids)
+            fstate.cc_state["bfc_vfid"] = vfid
+        memo = self._paused_memo
+        paused = memo.get(vfid)
+        if paused is None:
+            paused = self.codec.contains(filt, vfid)
+            memo[vfid] = paused
+        return paused
 
     def paused_flow_count(self) -> int:
         """Flows currently blocked by the pause filter (for tests/analysis)."""

@@ -38,6 +38,9 @@ class PhysicalQueuePool:
         self._rng = rng or random.Random(0)
         self._assigned_flows: List[int] = [0] * self.num_queues
         self._free: List[int] = list(range(self.num_queues))
+        # Maintained incrementally: occupied_queues() feeds the per-packet
+        # pause-threshold computation, so it must not scan the queue array.
+        self._occupied = 0
         self.stats = QueueAssignmentStats()
 
     # -- assignment --------------------------------------------------------------
@@ -53,6 +56,8 @@ class PhysicalQueuePool:
             return queue
         if self._free:
             queue = self._free.pop()
+            if self._assigned_flows[queue] == 0:
+                self._occupied += 1
             self._assigned_flows[queue] += 1
             return queue
         # Every queue is occupied: unavoidable head-of-line blocking.  The
@@ -63,8 +68,10 @@ class PhysicalQueuePool:
         return queue
 
     def _take(self, queue: int) -> None:
-        if self._assigned_flows[queue] == 0 and queue in self._free:
-            self._free.remove(queue)
+        if self._assigned_flows[queue] == 0:
+            self._occupied += 1
+            if queue in self._free:
+                self._free.remove(queue)
         self._assigned_flows[queue] += 1
 
     def release(self, queue: int) -> None:
@@ -72,8 +79,10 @@ class PhysicalQueuePool:
         if self._assigned_flows[queue] <= 0:
             raise ValueError(f"queue {queue} has no assigned flows to release")
         self._assigned_flows[queue] -= 1
-        if self._assigned_flows[queue] == 0 and queue not in self._free:
-            self._free.append(queue)
+        if self._assigned_flows[queue] == 0:
+            self._occupied -= 1
+            if queue not in self._free:
+                self._free.append(queue)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -81,7 +90,7 @@ class PhysicalQueuePool:
         return self._assigned_flows[queue]
 
     def occupied_queues(self) -> int:
-        return sum(1 for count in self._assigned_flows if count > 0)
+        return self._occupied
 
     def free_queues(self) -> int:
         return self.num_queues - self.occupied_queues()

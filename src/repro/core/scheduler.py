@@ -91,25 +91,65 @@ class BfcScheduler:
             self._total_bytes -= packet.size
             self._total_packets -= 1
             return packet, HIGH_PRIORITY_QUEUE
-        qid = self._drr.select(self._head_size, eligible=queue_eligible)
-        if qid is None:
+        # Inlined DeficitRoundRobin.select with the head-size callback
+        # merged: pop runs once per transmitted packet, and the callback
+        # hops of the generic DRR are the dominant cost at that rate.  The
+        # selection arithmetic must stay exactly equivalent to
+        # ``self._drr.select(self._head_size, eligible=queue_eligible)``
+        # (the DRR state is shared and must evolve identically).
+        drr = self._drr
+        active = drr._active
+        if not active:
+            drr._current = None
             return None
-        if qid == OVERFLOW_QUEUE:
-            packet = self._overflow.popleft()
-            self._overflow_bytes -= packet.size
-            if not self._overflow:
-                self._nonempty.discard(OVERFLOW_QUEUE)
-                self._drr.deactivate(OVERFLOW_QUEUE)
-        else:
-            queue = self._queues[qid]
-            packet = queue.popleft()
-            self._queue_bytes[qid] -= packet.size
-            if not queue:
-                self._nonempty.discard(qid)
-                self._drr.deactivate(qid)
-        self._total_bytes -= packet.size
-        self._total_packets -= 1
-        return packet, qid
+        deficits = drr._deficits
+        queues = self._queues
+        visited = 0
+        limit = 2 * len(active) + 1
+        qid = drr._current
+        arriving = False
+        while True:
+            if qid is None:
+                if visited >= limit:
+                    return None
+                visited += 1
+                cursor = drr._cursor % len(active)
+                qid = active[cursor]
+                drr._cursor = (cursor + 1) % len(active)
+                arriving = True
+            queue = self._overflow if qid == OVERFLOW_QUEUE else queues[qid]
+            size = queue[0].size if queue else None
+            servable = size is not None and (
+                queue_eligible is None or queue_eligible(qid)
+            )
+            if arriving:
+                arriving = False
+                if not servable:
+                    qid = None
+                    continue
+                # Arriving at a backlogged, eligible queue: grant its quantum
+                # and start serving it.
+                deficits[qid] += drr.quantum
+                drr._current = qid
+            if servable and deficits[qid] >= size:
+                deficits[qid] -= size
+                packet = queue.popleft()
+                if qid == OVERFLOW_QUEUE:
+                    self._overflow_bytes -= packet.size
+                else:
+                    self._queue_bytes[qid] -= packet.size
+                if not queue:
+                    self._nonempty.discard(qid)
+                    drr.deactivate(qid)
+                self._total_bytes -= packet.size
+                self._total_packets -= 1
+                return packet, qid
+            # This queue's turn is over: empty queues forfeit their deficit,
+            # blocked/backlogged queues keep the remainder.
+            if size is None:
+                deficits[qid] = 0
+            drr._current = None
+            qid = None
 
     def _head_size(self, qid: int) -> Optional[int]:
         if qid == OVERFLOW_QUEUE:

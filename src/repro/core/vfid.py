@@ -13,7 +13,7 @@ also fills, packets are diverted to a per-egress overflow queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim.packet import FlowKey, Packet

@@ -14,14 +14,13 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import BfcConfig
 from repro.core.switchlogic import BfcSwitch
 from repro.congestion.dcqcn import DcqcnConfig
 from repro.congestion.hpcc import HpccConfig
-from repro.sim import units
 from repro.sim.engine import Simulator
 from repro.sim.flow import Flow, reset_flow_ids
 from repro.sim.stats import (

@@ -16,17 +16,16 @@ via :func:`repro.experiments.runner.run_experiment`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import BfcConfig
 from repro.sim import units
-from repro.topology.clos import ClosParams, paper_t1_params, paper_t2_params, scaled_params
+from repro.topology.clos import ClosParams, paper_t1_params, scaled_params
 from repro.topology.crossdc import CrossDcParams
 from repro.workloads.distributions import FB_HADOOP, GOOGLE, WEBSEARCH, EmpiricalSizeDistribution
 from repro.workloads.generator import WorkloadSpec, generate_workload
 from repro.workloads.longlived import long_lived_flows, many_to_one_flows
-from repro.workloads.trace import FlowTrace
 
 from .runner import ExperimentConfig, TrafficSpec
 

@@ -1,18 +1,34 @@
 """Discrete-event simulation engine.
 
-The engine is deliberately small: a binary-heap event queue of plain
-``(time, seq, callback, args)`` tuples keyed by ``(time, sequence_number)``
-so that events scheduled for the same instant run in FIFO order, which keeps
-every run deterministic for a fixed seed.  Tuples (rather than event objects)
-keep heap comparisons entirely in C: ``seq`` is unique, so an ordering
-decision never looks past the first two integers.
+The event queue is a *calendar queue* (Brown 1988): a power-of-two ring of
+time buckets, each covering ``2**shift`` nanoseconds, holding plain
+``(time, seq, callback, args)`` tuples in insertion (FIFO) order.  Inserting
+an event is an O(1) list append; the bucket currently being served is sorted
+once (C timsort over nearly-sorted input) and then consumed by index, so the
+per-event cost has no heap log-factor even at high event density.  Three side
+structures complete the design:
+
+* an **overflow heap** for events beyond the ring horizon (one full ring
+  revolution ahead); entries are promoted into buckets as the serve pointer
+  advances and the horizon moves past them,
+* an **extra heap** for events inserted into the bucket that is currently
+  being consumed (a sorted list cannot accept mid-serve inserts), and
+* the bucket **width auto-tunes** from the observed event density (the ratio
+  of served entries to buckets scanned is a direct measurement of the mean
+  inter-event gap relative to the width): when buckets run too full or mostly
+  empty the queue is rebuilt with a better width and ring size.
+
+Events scheduled for the same instant run in strictly increasing ``seq``
+order — identical to the previous binary-heap engine, so a fixed seed still
+produces bit-identical runs.  ``seq`` is unique, which also means an ordering
+decision never compares beyond the first two tuple fields.
 
 Cancellation is handled by the :class:`Event` handle that
 :meth:`Simulator.schedule` returns: cancelled sequence numbers are recorded
 in a side set and skipped when popped (lazy deletion).  When cancelled
-entries come to dominate the heap, the queue is compacted in place so that
-long-running simulations with heavy cancel traffic (retransmission timers,
-pacing wake-ups) do not leak heap memory.
+entries come to dominate the queue, it is compacted (rebuilt without the
+dead entries) so that long-running simulations with heavy cancel traffic
+(retransmission timers, pacing wake-ups) do not leak memory.
 
 Typical usage::
 
@@ -32,9 +48,41 @@ from typing import Any, Callable, Optional
 #: loop use one integer comparison instead of a per-event None check.
 _NEVER = sys.maxsize
 
-#: Compact the heap only when at least this many events are cancelled *and*
+#: Compact the queue only when at least this many events are cancelled *and*
 #: cancelled entries outnumber live ones.  Small runs never pay for it.
 _COMPACT_MIN_CANCELLED = 64
+
+#: Initial bucket width exponent (2**9 = 512 ns per bucket) and ring size.
+#: Both are retuned from observed traffic, so the initial values only matter
+#: for the first few hundred events of a run.
+_INITIAL_SHIFT = 9
+_INITIAL_BUCKETS = 256
+
+#: Bounds for the auto-tuned bucket width exponent: 8 ns to ~1.1 s.
+_MIN_SHIFT = 3
+_MAX_SHIFT = 30
+
+#: Bounds for the ring size (always a power of two).
+_MIN_BUCKETS = 64
+_MAX_BUCKETS = 8192
+
+#: Re-examine the width/ring fit every this many *served* (non-empty)
+#: buckets.
+_RETUNE_INTERVAL = 256
+
+#: Target bucket width as a multiple of the observed mean inter-event gap
+#: (a few events per bucket keeps both the empty-slot scans and the
+#: per-bucket sorts cheap).
+_GAP_MULTIPLE = 8
+
+#: Give up a linear empty-slot scan after this many steps and jump straight
+#: to the earliest non-empty bucket instead.
+_SCAN_LIMIT = 64
+
+#: Grow/retune when the ring holds more than this many entries per bucket
+#: (checked on the insert path, so a scheduling burst cannot overstuff the
+#: ring before the pop-side retune notices).
+_GROW_PER_BUCKET = 8
 
 
 class SimulationError(RuntimeError):
@@ -44,10 +92,10 @@ class SimulationError(RuntimeError):
 class Event:
     """Handle for one scheduled callback.
 
-    The heap itself stores plain tuples; this handle carries just enough to
+    The queue itself stores plain tuples; this handle carries just enough to
     cancel the entry (and for callers to inspect when it would fire).  The
     ``cancelled`` flag is sticky, exactly like the pre-tuple event object:
-    it stays ``True`` even after the engine has discarded the heap entry.
+    it stays ``True`` even after the engine has discarded the queue entry.
     """
 
     __slots__ = ("time", "seq", "cancelled", "_sim")
@@ -91,11 +139,38 @@ class Simulator:
     def __init__(self, seed: int = 1) -> None:
         self.now: int = 0
         self._seq: int = 0
-        self._queue: list = []
         self._cancelled: set = set()
         self._rng = random.Random(seed)
         self._events_processed: int = 0
         self._running = False
+        # -- calendar queue state -----------------------------------------
+        self._shift: int = _INITIAL_SHIFT
+        self._nbuckets: int = _INITIAL_BUCKETS
+        self._mask: int = _INITIAL_BUCKETS - 1
+        self._buckets: list = [[] for _ in range(_INITIAL_BUCKETS)]
+        #: Virtual bucket (``time >> shift``) currently being served.
+        self._vb: int = 0
+        #: Exclusive ring horizon: entries at/after this go to the overflow
+        #: heap.  Invariant: ``_cal_limit == (_vb + _nbuckets) << _shift``.
+        self._cal_limit: int = _INITIAL_BUCKETS << _INITIAL_SHIFT
+        #: Entries stored in ring buckets (excludes _cur/_extra/_overflow).
+        self._cal_count: int = 0
+        self._grow_at: int = _INITIAL_BUCKETS * _GROW_PER_BUCKET
+        #: Contents of bucket ``_vb``, sorted descending and consumed from
+        #: the tail (a C-level list.pop() per event, no index bookkeeping).
+        self._cur: list = []
+        #: Heap of entries inserted into bucket ``_vb`` while it is served.
+        self._extra: list = []
+        #: Heap of entries beyond the ring horizon.
+        self._overflow: list = []
+        # -- width auto-tuning stats --------------------------------------
+        self._serve_buckets: int = 0
+        self._serve_entries: int = 0
+        self._empty_scanned: int = 0
+        #: Simulated time when the current measurement window opened; the
+        #: mean inter-event gap over the window is (now - t0) / entries.
+        self._serve_t0: int = 0
+        self._retunes: int = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -117,7 +192,7 @@ class Simulator:
         time_ns = self.now + int(delay_ns)
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._queue, (time_ns, seq, callback, args))
+        self._insert((time_ns, seq, callback, args))
         return Event(time_ns, seq, self)
 
     def schedule_at(self, time_ns: int, callback: Callable[..., None], *args: Any) -> Event:
@@ -129,7 +204,7 @@ class Simulator:
         time_ns = int(time_ns)
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._queue, (time_ns, seq, callback, args))
+        self._insert((time_ns, seq, callback, args))
         return Event(time_ns, seq, self)
 
     def post(self, delay_ns: int, callback: Callable[..., None], *args: Any) -> None:
@@ -143,12 +218,254 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(self._queue, (self.now + int(delay_ns), seq, callback, args))
+        time_ns = self.now + int(delay_ns)
+        # _insert(), inlined: this is the hottest scheduling entry point.
+        if time_ns < self._cal_limit:
+            vb = time_ns >> self._shift
+            if vb != self._vb:
+                self._buckets[vb & self._mask].append((time_ns, seq, callback, args))
+                count = self._cal_count + 1
+                self._cal_count = count
+                if count > self._grow_at:
+                    self._retune(force=True)
+            else:
+                heapq.heappush(self._extra, (time_ns, seq, callback, args))
+        else:
+            heapq.heappush(self._overflow, (time_ns, seq, callback, args))
+
+    def _insert(self, entry: tuple) -> None:
+        """File one ``(time, seq, callback, args)`` entry into the calendar."""
+        time_ns = entry[0]
+        if time_ns < self._cal_limit:
+            vb = time_ns >> self._shift
+            if vb != self._vb:
+                self._buckets[vb & self._mask].append(entry)
+                count = self._cal_count + 1
+                self._cal_count = count
+                if count > self._grow_at:
+                    self._retune(force=True)
+            else:
+                # The bucket being served is already sorted; late arrivals for
+                # the same bucket go to a side heap consulted on every pop.
+                heapq.heappush(self._extra, entry)
+        else:
+            heapq.heappush(self._overflow, entry)
 
     def pending_events(self) -> int:
         """Number of events currently in the queue (including cancelled ones
         that have not been reaped by a pop or a compaction yet)."""
-        return len(self._queue)
+        return (
+            self._cal_count
+            + len(self._cur)
+            + len(self._extra)
+            + len(self._overflow)
+        )
+
+    # -- calendar internals -------------------------------------------------
+
+    def _advance(self) -> Optional[tuple]:
+        """Move the serve pointer to the next non-empty bucket and return its
+        first entry (or ``None`` when the whole queue is empty).
+
+        The returned entry has already been consumed; the rest of the bucket
+        is left in ``_cur`` (sorted descending, served from the tail).
+        """
+        if self._serve_buckets >= _RETUNE_INTERVAL:
+            self._retune()
+            # A rebuild re-anchors the ring at the clock's bucket and may
+            # move entries sharing it into the extra heap; they precede
+            # anything still stored in ring buckets, so serve them first.
+            extra = self._extra
+            if extra:
+                return heapq.heappop(extra)
+        shift = self._shift
+        nbuckets = self._nbuckets
+        mask = self._mask
+        buckets = self._buckets
+        overflow = self._overflow
+        count = self._cal_count
+        scanned = 0
+        if count == 0:
+            if not overflow:
+                return None
+            # Ring empty: jump the serve pointer straight to the overflow
+            # head.  The head itself lands inside the new horizon, so the
+            # promotion below always files at least one entry.
+            vb = overflow[0][0] >> shift
+        else:
+            # The ring is non-empty, and every ring entry lives within one
+            # revolution of the serve pointer (the insert horizon and the
+            # commit-time promotion below both guarantee it), so a forward
+            # scan finds the earliest bucket without consulting overflow.
+            vb = self._vb + 1
+            while not buckets[vb & mask]:
+                vb += 1
+                scanned += 1
+                if scanned > _SCAN_LIMIT:
+                    # Sparse ring: stop stepping bucket by bucket and jump
+                    # straight to the earliest occupied slot.
+                    vb = self._min_head_vbucket()
+                    break
+        # Commit the serve pointer to ``vb``, then promote.  Promoting only
+        # *after* the commit is what keeps the ring consistent: every entry
+        # inside the new horizon has a virtual bucket in [vb, vb + nbuckets),
+        # so none can land in a slot the scan already passed.  (Promoting
+        # during the scan would file entries one revolution ahead into
+        # just-scanned slots, where they would sit out a full revolution and
+        # fire out of order.)
+        if overflow:
+            limit = (vb + nbuckets) << shift
+            if overflow[0][0] < limit:
+                count += self._promote(limit)
+        bucket = buckets[vb & mask]
+        # Detach the bucket for serving and open its slot for the ring slot
+        # one revolution ahead (now inside the advanced horizon).
+        buckets[vb & mask] = []
+        self._cal_count = count - len(bucket)
+        self._vb = vb
+        self._cal_limit = (vb + nbuckets) << shift
+        self._serve_buckets += 1
+        self._serve_entries += len(bucket)
+        self._empty_scanned += scanned
+        bucket.sort(reverse=True)
+        self._cur = bucket
+        return bucket.pop()
+
+    def _promote(self, limit: int) -> int:
+        """Move overflow entries with ``time < limit`` into ring buckets."""
+        overflow = self._overflow
+        buckets = self._buckets
+        mask = self._mask
+        shift = self._shift
+        heappop = heapq.heappop
+        promoted = 0
+        while overflow and overflow[0][0] < limit:
+            entry = heappop(overflow)
+            buckets[(entry[0] >> shift) & mask].append(entry)
+            promoted += 1
+        return promoted
+
+    def _min_head_vbucket(self) -> int:
+        """Virtual bucket of the earliest entry stored in the ring.
+
+        Only called when the ring is known to be non-empty.  Tuple ``min``
+        never compares past ``(time, seq)`` because ``seq`` is unique.
+        """
+        best = None
+        for bucket in self._buckets:
+            if bucket:
+                head = min(bucket)[0]
+                if best is None or head < best:
+                    best = head
+        return best >> self._shift
+
+    def _collect_entries(self) -> list:
+        """Drain every live entry out of the calendar (dropping cancelled
+        ones and reaping their sequence numbers)."""
+        entries = []
+        entries.extend(self._cur)
+        entries.extend(self._extra)
+        for bucket in self._buckets:
+            entries.extend(bucket)
+        entries.extend(self._overflow)
+        cancelled = self._cancelled
+        if cancelled:
+            entries = [entry for entry in entries if entry[1] not in cancelled]
+            cancelled.clear()
+        return entries
+
+    def _rebuild(self, shift: int, nbuckets: int) -> None:
+        """Redistribute every pending entry over a fresh ring.
+
+        Used by the width/ring retuner and by cancellation compaction (which
+        rebuilds with the current geometry just to drop dead entries).
+        """
+        entries = self._collect_entries()
+        self._shift = shift
+        self._nbuckets = nbuckets
+        mask = nbuckets - 1
+        self._mask = mask
+        self._grow_at = nbuckets * _GROW_PER_BUCKET
+        buckets = [[] for _ in range(nbuckets)]
+        self._buckets = buckets
+        vb = self.now >> shift
+        self._vb = vb
+        limit = (vb + nbuckets) << shift
+        self._cal_limit = limit
+        self._cur = []
+        extra = []
+        overflow = []
+        count = 0
+        for entry in entries:
+            time_ns = entry[0]
+            if time_ns >= limit:
+                overflow.append(entry)
+            else:
+                evb = time_ns >> shift
+                if evb == vb:
+                    extra.append(entry)
+                else:
+                    buckets[evb & mask].append(entry)
+                    count += 1
+        heapq.heapify(extra)
+        heapq.heapify(overflow)
+        self._extra = extra
+        self._overflow = overflow
+        self._cal_count = count
+        # Once the ring is at its size cap a huge backlog could re-trigger
+        # the insert-side grow check on every append; keep doubling the
+        # trigger instead so rebuild cost stays amortized O(1) per insert.
+        if count > self._grow_at:
+            self._grow_at = count * 2
+        self._serve_buckets = 0
+        self._serve_entries = 0
+        self._empty_scanned = 0
+        self._serve_t0 = self.now
+
+    def _retune(self, force: bool = False) -> None:
+        """Re-fit the bucket width and ring size to the observed traffic.
+
+        The width target is measured directly from the event stream: the
+        serve-side statistics give the mean inter-event gap over the last
+        measurement window (simulated span / entries served), and the bucket
+        width aims for ``_GAP_MULTIPLE`` gaps per bucket.  The ring is sized
+        to the live entry count.  ``force`` (insert-side overstuffed ring)
+        rebuilds even when the width already fits, so a scheduling burst
+        gets a bigger ring immediately.
+        """
+        entries = self._serve_entries
+        shift = self._shift
+        span = self.now - self._serve_t0
+        if entries > 0 and span > 0:
+            target_width = max(1, (span * _GAP_MULTIPLE) // entries)
+            new_shift = min(_MAX_SHIFT, max(_MIN_SHIFT, target_width.bit_length() - 1))
+        else:
+            new_shift = shift
+        live = self.pending_events() - len(self._cancelled)
+        nbuckets = _MIN_BUCKETS
+        while nbuckets < live and nbuckets < _MAX_BUCKETS:
+            nbuckets <<= 1
+        if new_shift == shift and nbuckets == self._nbuckets and not force:
+            self._serve_buckets = 0
+            self._serve_entries = 0
+            self._empty_scanned = 0
+            self._serve_t0 = self.now
+            return
+        self._retunes += 1
+        self._rebuild(new_shift, nbuckets)
+
+    def calendar_stats(self) -> dict:
+        """Introspection snapshot of the calendar geometry (for tests/tools)."""
+        return {
+            "bucket_width_ns": 1 << self._shift,
+            "shift": self._shift,
+            "num_buckets": self._nbuckets,
+            "ring_entries": self._cal_count,
+            "current_bucket_entries": len(self._cur),
+            "deferred_entries": len(self._extra),
+            "overflow_entries": len(self._overflow),
+            "retunes": self._retunes,
+        }
 
     # -- cancellation ------------------------------------------------------
 
@@ -157,23 +474,38 @@ class Simulator:
         cancelled.add(seq)
         if (
             len(cancelled) >= _COMPACT_MIN_CANCELLED
-            and len(cancelled) * 2 > len(self._queue)
+            and len(cancelled) * 2 > self.pending_events()
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries from the heap in place.
+        """Drop cancelled entries from the calendar in place.
 
-        In-place (slice assignment) because a running event loop holds a
-        reference to the same list; rebinding ``self._queue`` would strand it.
-        Clearing the cancelled set also reaps sequence numbers cancelled
-        after their event already fired, so neither structure grows without
-        bound.
+        Filtering each structure (rather than rebuilding the ring) keeps the
+        cost proportional to the stored entries.  Clearing the cancelled set
+        also reaps sequence numbers cancelled after their event already
+        fired, so neither structure grows without bound.
         """
-        queue = self._queue
         cancelled = self._cancelled
-        queue[:] = [entry for entry in queue if entry[1] not in cancelled]
-        heapq.heapify(queue)
+        cur = self._cur
+        if cur:
+            # Filtering preserves the descending serve order.
+            cur[:] = [entry for entry in cur if entry[1] not in cancelled]
+        removed_from_ring = 0
+        for bucket in self._buckets:
+            if bucket:
+                before = len(bucket)
+                bucket[:] = [entry for entry in bucket if entry[1] not in cancelled]
+                removed_from_ring += before - len(bucket)
+        self._cal_count -= removed_from_ring
+        extra = self._extra
+        if extra:
+            extra[:] = [entry for entry in extra if entry[1] not in cancelled]
+            heapq.heapify(extra)
+        overflow = self._overflow
+        if overflow:
+            overflow[:] = [entry for entry in overflow if entry[1] not in cancelled]
+            heapq.heapify(overflow)
         cancelled.clear()
 
     # -- execution --------------------------------------------------------
@@ -203,26 +535,36 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run call)")
         self._running = True
         # Local bindings: every name in the loop body below resolves without
-        # a dict lookup.  The queue and cancelled set are mutated only in
-        # place elsewhere (push/compact), so the local aliases stay valid.
-        queue = self._queue
+        # a dict lookup.  The calendar structures are re-read through self on
+        # each iteration because inserts and retunes may rebind them.
         cancelled = self._cancelled
         heappop = heapq.heappop
-        heappush = heapq.heappush
         stop_after = _NEVER if until is None else until
         cap = _NEVER if max_events is None else max_events
         processed = 0
         try:
-            while queue:
-                if processed >= cap:
-                    break
-                entry = heappop(queue)
+            while processed < cap:
+                cur = self._cur
+                if cur:
+                    entry = cur.pop()
+                    extra = self._extra
+                    if extra and extra[0] < entry:
+                        cur.append(entry)
+                        entry = heappop(extra)
+                else:
+                    extra = self._extra
+                    if extra:
+                        entry = heappop(extra)
+                    else:
+                        entry = self._advance()
+                        if entry is None:
+                            break
                 time, seq, callback, args = entry
                 if cancelled and seq in cancelled:
                     cancelled.discard(seq)
                     continue
                 if time > stop_after:
-                    heappush(queue, entry)
+                    self._insert(entry)
                     break
                 self.now = time
                 callback(*args)
@@ -230,6 +572,14 @@ class Simulator:
         finally:
             self._running = False
             self._events_processed += processed
+            if self._vb > (self.now >> self._shift):
+                # Serving may have peeked ahead of the clock without firing —
+                # an `until` put-back, or a queue tail made of cancelled
+                # entries that were popped and discarded.  Events inserted
+                # after this run() returns would then land behind the serve
+                # pointer and violate the ring's slot mapping, so re-anchor
+                # the calendar at the clock before handing back.
+                self._rebuild(self._shift, self._nbuckets)
         # Advance the clock to the end of the requested window unless we
         # stopped early because of the event cap (in which case the next run
         # call must resume from the stop time, not from `until`).

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from .disciplines import DeficitRoundRobin
@@ -189,6 +189,15 @@ class CongestionControl:
 
     name = "line-rate"
 
+    #: Class-level hint for the NIC fast path: ``False`` promises that
+    #: :meth:`window_bytes` always returns ``None``, letting the per-dequeue
+    #: eligibility check skip the call entirely.  The promise is only
+    #: honoured when the class that defines the active ``window_bytes``
+    #: override (or one of its subclasses) declares it — a subclass that
+    #: overrides ``window_bytes`` without restating ``has_window`` is
+    #: conservatively treated as windowed (see ``_cc_is_windowless``).
+    has_window = False
+
     def __init__(self, line_rate_bps: float) -> None:
         self.line_rate_bps = line_rate_bps
 
@@ -222,6 +231,7 @@ class WindowedCongestionControl(CongestionControl):
     """
 
     name = "windowed"
+    has_window = True
 
     def __init__(self, line_rate_bps: float, window_bytes: int) -> None:
         super().__init__(line_rate_bps)
@@ -229,6 +239,32 @@ class WindowedCongestionControl(CongestionControl):
 
     def window_bytes(self, fstate: SenderFlowState) -> Optional[int]:
         return self._window
+
+
+def _cc_is_windowless(cc: CongestionControl) -> bool:
+    """True only when ``cc`` provably never returns a congestion window.
+
+    ``has_window = False`` is trusted only when it was declared by the class
+    that defines the active ``window_bytes`` override or by one of its
+    subclasses (or explicitly on the instance).  A subclass that overrides
+    ``window_bytes`` while inheriting ``has_window = False`` from a parent
+    has made no promise about its own override, so it takes the safe
+    (windowed) path instead of silently losing window enforcement.
+    """
+    if "has_window" in getattr(cc, "__dict__", {}):
+        return not cc.has_window
+    cc_type = type(cc)
+    declared = definer = None
+    for klass in cc_type.__mro__:
+        if declared is None and "has_window" in vars(klass):
+            declared = klass
+        if definer is None and "window_bytes" in vars(klass):
+            definer = klass
+        if declared is not None and definer is not None:
+            break
+    if declared is None or definer is None or cc_type.has_window:
+        return False
+    return issubclass(declared, definer)
 
 
 class NicScheduler:
@@ -248,6 +284,9 @@ class NicScheduler:
         # against; letting _eligible_id be a plain bound method keeps the
         # per-dequeue path free of closure allocations.
         self._select_now = 0
+        # True when _flow_is_paused is not overridden, so the dequeue scan
+        # can read fstate.paused directly instead of dispatching the hook.
+        self._pause_simple = type(self)._flow_is_paused is NicScheduler._flow_is_paused
 
     # -- flow management ------------------------------------------------------
 
@@ -267,6 +306,13 @@ class NicScheduler:
         return len(self._flows)
 
     # -- eligibility ------------------------------------------------------------
+    #
+    # NOTE: dequeue() inlines _head_size/_eligible/_eligible_id and the
+    # pacing scan of _schedule_wakeup for speed.  These methods remain the
+    # readable reference implementation, and
+    # tests/test_host.py::TestInlinedDequeueEquivalence pins the two paths
+    # to identical behaviour — a change to either side must keep them in
+    # lockstep (the shared DRR state must evolve identically).
 
     def _flow_is_paused(self, fstate: SenderFlowState) -> bool:
         """Hook for BFC NICs (Bloom-filter pauses).  Default: never paused."""
@@ -304,13 +350,102 @@ class NicScheduler:
         raise RuntimeError("the NIC scheduler generates its own packets")
 
     def dequeue(self) -> Optional[Packet]:
-        now = self.host.sim.now
+        """Pick the next flow (deficit round robin) and build its packet.
+
+        This is :meth:`DeficitRoundRobin.select` with the head-size and
+        eligibility callbacks merged and inlined — the NIC is asked for a
+        packet after every ACK and every transmission, so the per-candidate
+        callback hops of the generic DRR dominate an experiment's run time.
+        The selection arithmetic must stay exactly equivalent to
+        ``self._drr.select(self._head_size, self._eligible_id)`` (the DRR
+        state is shared and must evolve identically).
+        """
+        host = self.host
+        now = host.sim.now
         self._select_now = now
-        flow_id = self._drr.select(self._head_size, self._eligible_id)
-        if flow_id is None:
-            self._schedule_wakeup(now)
+        drr = self._drr
+        active = drr._active
+        if not active:
+            drr._current = None
             return None
-        return self.host.build_data_packet(self._flows[flow_id])
+        flows = self._flows
+        deficits = drr._deficits
+        config_mtu = host.config.mtu
+        pause_simple = self._pause_simple
+        no_window = host._no_window
+        visited = 0
+        limit = 2 * len(active) + 1
+        arriving = False
+        qid = drr._current
+        # Earliest pacing timer among flows blocked *only* by pacing,
+        # gathered during the scan so a failed dequeue needs no second pass
+        # over the flows (see _schedule_wakeup, which this folds in).
+        wake_at: Optional[int] = None
+        while True:
+            if qid is None:
+                if visited >= limit:
+                    if wake_at is not None:
+                        self._arm_wakeup(wake_at)
+                    return None
+                visited += 1
+                cursor = drr._cursor % len(active)
+                qid = active[cursor]
+                drr._cursor = (cursor + 1) % len(active)
+                arriving = True
+            # -- head size and eligibility, merged (see _head_size/_eligible) --
+            fstate = flows.get(qid)
+            size = None
+            eligible = False
+            if fstate is not None:
+                retransmit = fstate.retransmit_queue
+                num_packets = fstate.num_packets
+                seq = retransmit[0] if retransmit else fstate.next_seq
+                if retransmit or seq < num_packets:
+                    mtu = fstate.mtu
+                    if seq < num_packets - 1:
+                        size = mtu + DATA_HEADER_SIZE
+                    else:
+                        last = fstate.flow.size - mtu * (num_packets - 1)
+                        size = (last if last > 0 else mtu) + DATA_HEADER_SIZE
+                    paused = (
+                        fstate.paused if pause_simple else self._flow_is_paused(fstate)
+                    )
+                    if not paused:
+                        if retransmit or no_window:
+                            # Retransmissions do not grow the in-flight window.
+                            if fstate.next_allowed_ns <= now:
+                                eligible = True
+                            elif wake_at is None or fstate.next_allowed_ns < wake_at:
+                                wake_at = fstate.next_allowed_ns
+                        else:
+                            window = host.effective_window(fstate)
+                            if (
+                                window is None
+                                or fstate.inflight_bytes() + config_mtu <= window
+                            ):
+                                if fstate.next_allowed_ns <= now:
+                                    eligible = True
+                                elif wake_at is None or fstate.next_allowed_ns < wake_at:
+                                    wake_at = fstate.next_allowed_ns
+            if arriving:
+                if size is None or not eligible:
+                    arriving = False
+                    qid = None
+                    continue
+                # Arriving at a backlogged, eligible queue: grant its quantum
+                # and start serving it.
+                deficits[qid] += drr.quantum
+                drr._current = qid
+                arriving = False
+            if size is not None and eligible and deficits[qid] >= size:
+                deficits[qid] -= size
+                return host.build_data_packet(fstate)
+            # This queue's turn is over: empty queues forfeit their deficit,
+            # blocked/backlogged queues keep the remainder.
+            if size is None:
+                deficits[qid] = 0
+            drr._current = None
+            qid = None
 
     def _eligible_id(self, flow_id: int) -> bool:
         return self._eligible(self._flows[flow_id], self._select_now)
@@ -353,10 +488,15 @@ class NicScheduler:
                     earliest = fstate.next_allowed_ns
         if earliest is None:
             return
-        if self._wakeup_event is not None and not self._wakeup_event.cancelled:
-            if self._wakeup_event.time <= earliest:
+        self._arm_wakeup(earliest)
+
+    def _arm_wakeup(self, earliest: int) -> None:
+        """Arm (or tighten) the pacing wake-up kick at ``earliest``."""
+        event = self._wakeup_event
+        if event is not None and not event.cancelled:
+            if event.time <= earliest:
                 return
-            self._wakeup_event.cancel()
+            event.cancel()
         self._wakeup_event = self.host.sim.schedule_at(earliest, self.host.kick)
 
 
@@ -384,6 +524,15 @@ class Host(Node):
         self.counters = Counters()
         # Direct alias of the counter dict for the per-packet increments.
         self._cv = self.counters.values
+        # Batched control fan-out: control frames generated while handling
+        # one received packet are coalesced here and emitted in generation
+        # (seq) order by a single flush at the end of handle_packet().
+        self._pending_control: List[Packet] = []
+        self._needs_kick = False
+        # Per-packet receive-path constants, hoisted out of the handlers.
+        self._ack_every = max(1, self.config.ack_every)
+        self._selective = self.config.loss_recovery == "selective-repeat"
+        self._no_window = False  # recomputed once the cc module exists
         self.on_flow_complete: Optional[Callable[[Flow, int], None]] = None
         # Cached uplink port/rate (set by the first add_interface); the
         # per-packet send path goes through these instead of the
@@ -402,6 +551,12 @@ class Host(Node):
         if self.cc is None:
             factory = self._cc_factory or (lambda rate: CongestionControl(rate))
             self.cc = factory(rate_bps)
+        # effective_window() is constant None when neither the cc module nor
+        # the static cap can produce a window; the dequeue fast path keys off
+        # this.  Unknown cc implementations conservatively count as windowed.
+        self._no_window = self.config.window_cap_bytes is None and _cc_is_windowless(
+            self.cc
+        )
         return iface
 
     @property
@@ -412,7 +567,7 @@ class Host(Node):
     def kick(self) -> None:
         """Ask the egress port to re-evaluate whether it can transmit."""
         port = self._uplink_port
-        if port is not None:
+        if port is not None and not port.busy:
             port.kick()
 
     def effective_window(self, fstate: SenderFlowState) -> Optional[int]:
@@ -494,30 +649,50 @@ class Host(Node):
         if cc:
             cc.on_packet_sent(fstate, packet, now)
         cv = self._cv
-        cv["data_packets_sent"] = cv.get("data_packets_sent", 0) + 1
+        cv["data_packets_sent"] += 1
         return packet
 
     # -- receive path ----------------------------------------------------------------
 
     def handle_packet(self, packet: Packet, iface_index: int) -> None:
-        if packet.kind is PacketKind.DATA:
+        kind = packet.kind
+        if kind is PacketKind.DATA:
             self._handle_data(packet)
-        elif packet.kind is PacketKind.ACK:
+        elif kind is PacketKind.ACK:
             self._handle_ack(packet)
-        elif packet.kind is PacketKind.NACK:
+        elif kind is PacketKind.NACK:
             self._handle_nack(packet)
-        elif packet.kind is PacketKind.CNP:
+        elif kind is PacketKind.CNP:
             self._handle_cnp(packet)
-        elif packet.kind is PacketKind.BLOOM:
+        elif kind is PacketKind.BLOOM:
             self._handle_bloom(packet, iface_index)
         else:  # pragma: no cover - PFC handled by Node
             self.counters.incr("unexpected_packets")
+            return
+        # Batched control fan-out: emit every control frame generated while
+        # handling this packet (ACK + CNP for a marked data packet, etc.) in
+        # one burst, in generation (= engine seq) order, with at most one
+        # port kick.  While the port is already draining even the kick is
+        # skipped — _transmission_done picks the frames up.
+        pending = self._pending_control
+        if pending:
+            port = self._uplink_port
+            port.control_queue.extend(pending)
+            pending.clear()
+            self._needs_kick = False
+            if not port.busy:
+                port.kick()
+        elif self._needs_kick:
+            self._needs_kick = False
+            port = self._uplink_port
+            if not port.busy:
+                port.kick()
 
     def _handle_bloom(self, packet: Packet, iface_index: int) -> None:
         handler = getattr(self.nic, "on_bloom", None)
         if handler is not None:
             handler(packet)
-            self.kick()
+            self._needs_kick = True
         else:
             self.counters.incr("bloom_ignored")
 
@@ -525,7 +700,7 @@ class Host(Node):
 
     def _handle_data(self, packet: Packet) -> None:
         cv = self._cv
-        cv["data_packets_received"] = cv.get("data_packets_received", 0) + 1
+        cv["data_packets_received"] += 1
         rstate = self.receivers.get(packet.flow_id)
         if rstate is None:
             rstate = ReceiverFlowState(
@@ -534,7 +709,7 @@ class Host(Node):
             self.receivers[packet.flow_id] = rstate
         if packet.ecn_marked:
             self._maybe_send_cnp(packet, rstate)
-        selective = self.config.loss_recovery == "selective-repeat"
+        selective = self._selective
         if packet.seq == rstate.expected_seq:
             rstate.expected_seq += 1
             rstate.bytes_received += packet.payload_bytes()
@@ -569,7 +744,7 @@ class Host(Node):
 
     def _maybe_send_ack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
         is_last = rstate.expected_seq >= rstate.num_packets
-        if is_last or rstate.expected_seq % max(1, self.config.ack_every) == 0:
+        if is_last or rstate.expected_seq % self._ack_every == 0:
             self._send_ack(packet, rstate)
 
     def _send_ack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
@@ -585,9 +760,9 @@ class Host(Node):
         if packet.int_enabled:
             ack.int_enabled = False
             ack.int_stack = list(packet.int_stack)
-        self._uplink_port.send_control(ack)
+        self._pending_control.append(ack)
         cv = self._cv
-        cv["acks_sent"] = cv.get("acks_sent", 0) + 1
+        cv["acks_sent"] += 1
 
     def _send_nack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
         if rstate.last_nack_seq == rstate.expected_seq:
@@ -601,7 +776,7 @@ class Host(Node):
             ack_seq=rstate.expected_seq,
             created_ns=self.sim.now,
         )
-        self._uplink_port.send_control(nack)
+        self._pending_control.append(nack)
         self.counters.incr("nacks_sent")
 
     def _maybe_send_cnp(self, packet: Packet, rstate: ReceiverFlowState) -> None:
@@ -616,7 +791,7 @@ class Host(Node):
             size=CNP_SIZE,
             created_ns=now,
         )
-        self._uplink_port.send_control(cnp)
+        self._pending_control.append(cnp)
         self.counters.incr("cnps_sent")
 
     # .. sender side ...............................................................
@@ -638,7 +813,7 @@ class Host(Node):
         if fstate.fully_acked() and not fstate.completed:
             fstate.completed = True
             self._finish_sender(fstate)
-        self.kick()
+        self._needs_kick = True
 
     def _handle_nack(self, packet: Packet) -> None:
         fstate = self.nic.flow_state(packet.flow_id)
@@ -646,7 +821,7 @@ class Host(Node):
             return
         if packet.ack_seq > fstate.una:
             fstate.una = packet.ack_seq
-        if self.config.loss_recovery == "selective-repeat":
+        if self._selective:
             # Retransmit only the packet the receiver is missing.
             missing = packet.ack_seq
             if (
@@ -662,7 +837,7 @@ class Host(Node):
         fstate.last_progress_ns = self.sim.now
         if self.cc:
             self.cc.on_nack(fstate, packet, self.sim.now)
-        self.kick()
+        self._needs_kick = True
 
     def _handle_cnp(self, packet: Packet) -> None:
         fstate = self.nic.flow_state(packet.flow_id)
@@ -695,7 +870,7 @@ class Host(Node):
         if idle_ns >= self.config.rto_ns and fstate.inflight_packets() > 0:
             # The tail of the flow was lost and no later packet will trigger a
             # NACK: recover via rewind (Go-Back-N) or a targeted retransmit.
-            if self.config.loss_recovery == "selective-repeat":
+            if self._selective:
                 if fstate.una not in fstate.retransmit_queue:
                     fstate.retransmit_queue.append(fstate.una)
             else:

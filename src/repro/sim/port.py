@@ -74,6 +74,15 @@ class EgressPort:
         # Peer wiring (set by connect()).
         self.peer_node: Optional["Node"] = None
         self.peer_iface: int = -1
+        # Hot-path aliases: the two per-packet events (serialization done,
+        # propagation delivery) are posted through pre-bound callables so the
+        # per-transmission cost is free of attribute-chain lookups.
+        self._post = sim.post
+        self._done = self._transmission_done
+        self._peer_receive: Optional[Callable[[Packet, int], None]] = None
+        # Serialization times memoized per packet size (the port's rate is
+        # fixed for its lifetime, and traffic uses a handful of sizes).
+        self._tx_memo: dict = {}
         # Queues.
         self.control_queue: deque[Packet] = deque()
         self.discipline: Optional[DataDiscipline] = None
@@ -93,6 +102,7 @@ class EgressPort:
     def connect(self, peer_node: "Node", peer_iface: int) -> None:
         self.peer_node = peer_node
         self.peer_iface = peer_iface
+        self._peer_receive = peer_node.receive
 
     @property
     def connected(self) -> bool:
@@ -113,15 +123,22 @@ class EgressPort:
     # -- transmit path ----------------------------------------------------------
 
     def send_control(self, packet: Packet) -> None:
-        """Queue a control packet for transmission at strict priority."""
+        """Queue a control packet for transmission at strict priority.
+
+        Fast path: while the port is already draining, enqueueing is a plain
+        append — ``_transmission_done`` will pick the frame up, so there is
+        nothing to kick.
+        """
         if not packet.is_control:
             raise ValueError("send_control() is only for control packets")
         self.control_queue.append(packet)
-        self.kick()
+        if not self.busy:
+            self.kick()
 
     def notify(self) -> None:
         """Tell the port that the data discipline may have become non-empty."""
-        self.kick()
+        if not self.busy:
+            self.kick()
 
     def kick(self) -> None:
         """Start transmitting the next eligible packet if the line is idle."""
@@ -140,10 +157,16 @@ class EgressPort:
             if hook is not None:
                 hook(packet, self.iface_index)
         self.busy = True
-        # Serialization delay; must stay arithmetically identical to
-        # units.transmission_time_ns (integer product, then float divide).
-        tx_ns = int(round(packet.size * 8 * 1_000_000_000 / self.rate_bps))
-        self.sim.post(tx_ns if tx_ns > 0 else 1, self._transmission_done, packet)
+        size = packet.size
+        tx_ns = self._tx_memo.get(size)
+        if tx_ns is None:
+            # Serialization delay; must stay arithmetically identical to
+            # units.transmission_time_ns (integer product, then float divide).
+            tx_ns = int(round(size * 8 * 1_000_000_000 / self.rate_bps))
+            if tx_ns <= 0:
+                tx_ns = 1
+            self._tx_memo[size] = tx_ns
+        self._post(tx_ns, self._done, packet)
 
     def _transmission_done(self, packet: Packet) -> None:
         self.busy = False
@@ -159,7 +182,7 @@ class EgressPort:
             hook = self.on_data_transmitted
             if hook is not None:
                 hook(packet, self.iface_index)
-        self.sim.post(self.delay_ns, self.peer_node.receive, packet, self.peer_iface)
+        self._post(self.delay_ns, self._peer_receive, packet, self.peer_iface)
         self.kick()
 
     # -- introspection ------------------------------------------------------------

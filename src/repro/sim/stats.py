@@ -8,6 +8,7 @@ layer (:mod:`repro.analysis`).
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -21,12 +22,18 @@ from . import units
 
 @dataclass
 class Counters:
-    """A plain bag of named integer counters."""
+    """A plain bag of named integer counters.
 
-    values: Dict[str, int] = field(default_factory=dict)
+    ``values`` is a ``defaultdict(int)`` so the per-packet hot paths can
+    bump ``counters.values[name] += 1`` without a lookup-then-store dance.
+    Read misses must keep going through :meth:`get` (indexing a defaultdict
+    inserts the zero it returns, which would pollute harvested records).
+    """
+
+    values: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def incr(self, name: str, amount: int = 1) -> None:
-        self.values[name] = self.values.get(name, 0) + amount
+        self.values[name] += amount
 
     def get(self, name: str) -> int:
         return self.values.get(name, 0)

@@ -131,7 +131,12 @@ class Switch(Node):
         if packet.kind is PacketKind.BLOOM:
             self.handle_bloom(packet, iface_index)
             return
-        out_iface = self.interfaces[self.egress_for(packet)]
+        # egress_for(), fast path: the memoized ECMP pick hits for every
+        # packet of a flow after its first.
+        egress = self._route_cache.get(packet.key)
+        if egress is None:
+            egress = self.egress_for(packet)
+        out_iface = self.interfaces[egress]
         if packet.is_control:
             out_iface.tx.send_control(packet)
             return
@@ -151,8 +156,12 @@ class Switch(Node):
             return
         packet.cur_ingress = in_index
         packet.hops += 1
-        if self.ecn.enabled and packet.ecn_capable:
-            self._maybe_mark_ecn(packet, tx)
+        ecn = self.ecn
+        if ecn.enabled and packet.ecn_capable:
+            # Early-out below kmin (the common uncongested case) before
+            # paying for the probability arithmetic in _maybe_mark_ecn.
+            if tx.discipline.backlog_bytes() > ecn.kmin:
+                self._maybe_mark_ecn(packet, tx)
         if not tx.discipline.enqueue(packet, in_index):
             # The discipline itself refused the packet (rare; e.g. a bounded
             # per-queue policy).  Treat it exactly like a buffer drop.
@@ -161,8 +170,9 @@ class Switch(Node):
             self.counters.incr("dropped_bytes", packet.size)
             return
         values = self.counters.values
-        values["forwarded_packets"] = values.get("forwarded_packets", 0) + 1
-        tx.kick()
+        values["forwarded_packets"] += 1
+        if not tx.busy:
+            tx.kick()
         if self.pfc.enabled:
             self._check_pfc_pause(in_index)
 

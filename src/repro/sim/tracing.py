@@ -18,7 +18,6 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
-from .flow import Flow
 from .host import Host
 from .packet import Packet, PacketKind
 

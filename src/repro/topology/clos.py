@@ -13,7 +13,7 @@ defaults with the same shape; every experiment accepts explicit parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.sim import units

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.sim import units
-from repro.sim.host import Host
 from repro.sim.port import connect
 from repro.sim.switch import Switch
 

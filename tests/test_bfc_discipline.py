@@ -1,7 +1,5 @@
 """Unit tests for the BFC egress discipline (enqueue/dequeue/pause/resume)."""
 
-import pytest
-
 from repro.core.config import BfcConfig
 from repro.core.discipline import BfcEgressDiscipline
 from repro.core.switchlogic import BfcAgent

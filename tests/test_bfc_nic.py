@@ -1,12 +1,9 @@
 """Unit tests for the BFC host NIC (Bloom-filter pause handling)."""
 
-import pytest
-
 from repro.core.bloom import BloomFilterCodec
 from repro.core.config import BfcConfig
 from repro.core.nic import BfcNicScheduler, bfc_nic_class
 from repro.sim import units
-from repro.sim.engine import Simulator
 from repro.sim.flow import Flow
 from repro.sim.host import Host, HostConfig
 from repro.sim.node import Node

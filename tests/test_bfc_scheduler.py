@@ -1,7 +1,5 @@
 """Unit tests for the BFC egress scheduler (high-priority queue + DRR)."""
 
-import pytest
-
 from repro.core.config import BfcConfig
 from repro.core.scheduler import HIGH_PRIORITY_QUEUE, OVERFLOW_QUEUE, BfcScheduler
 from repro.sim.packet import FlowKey, Packet, PacketKind

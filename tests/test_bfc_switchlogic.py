@@ -1,13 +1,10 @@
 """Tests for the per-switch BFC agent and BfcSwitch, including end-to-end
 pause propagation on a small host--ToR--host topology."""
 
-import pytest
-
 from repro.core.config import BfcConfig
 from repro.core.nic import bfc_nic_class
 from repro.core.switchlogic import BfcAgent, BfcSwitch
 from repro.sim import units
-from repro.sim.engine import Simulator
 from repro.sim.flow import Flow
 from repro.sim.host import CongestionControl, Host, HostConfig
 from repro.sim.packet import PacketKind

@@ -1,0 +1,107 @@
+"""Unit tests for the CI bench-regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def report(**eps):
+    return {
+        "schemes": {name: {"events_per_sec": value} for name, value in eps.items()}
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        base = report(BFC=100_000.0, DCQCN=200_000.0)
+        result = check_regression.compare(base, report(BFC=100_000.0, DCQCN=200_000.0))
+        assert result["passed"]
+        assert result["machine_factor"] == pytest.approx(1.0)
+
+    def test_uniformly_faster_machine_passes(self):
+        base = report(BFC=100_000.0, DCQCN=200_000.0)
+        cur = report(BFC=250_000.0, DCQCN=500_000.0)
+        result = check_regression.compare(base, cur)
+        assert result["passed"]
+        assert result["machine_factor"] == pytest.approx(2.5)
+
+    def test_single_scheme_regression_fails_at_full_relative_drop(self):
+        """A 30% drop in one scheme must fail even with only two schemes.
+
+        (Geometric-mean normalization would have diluted this to a 16%
+        normalized drop and let it pass; the max-ratio normalization judges
+        the scheme by its full drop relative to the unregressed one.)
+        """
+        base = report(BFC=100_000.0, DCQCN=200_000.0)
+        cur = report(BFC=100_000.0, DCQCN=140_000.0)  # DCQCN at 0.70x
+        result = check_regression.compare(base, cur)
+        assert not result["passed"]
+        assert result["failures"] == ["DCQCN"]
+        dcqcn = next(r for r in result["rows"] if r["scheme"] == "DCQCN")
+        assert dcqcn["normalized"] == pytest.approx(0.70)
+
+    def test_regression_on_faster_machine_still_fails(self):
+        base = report(BFC=100_000.0, DCQCN=200_000.0)
+        cur = report(BFC=200_000.0, DCQCN=200_000.0)  # 2x machine, DCQCN flat
+        result = check_regression.compare(base, cur)
+        assert not result["passed"]
+        assert result["failures"] == ["DCQCN"]
+
+    def test_uniform_regression_needs_absolute_mode(self):
+        """The documented blind spot: a uniform slowdown passes the
+        normalized gate and only --absolute catches it."""
+        base = report(BFC=100_000.0, DCQCN=200_000.0)
+        cur = report(BFC=60_000.0, DCQCN=120_000.0)
+        assert check_regression.compare(base, cur)["passed"]
+        assert not check_regression.compare(base, cur, absolute=True)["passed"]
+
+    def test_missing_scheme_fails(self):
+        base = report(BFC=100_000.0, DCQCN=200_000.0)
+        result = check_regression.compare(base, report(BFC=100_000.0))
+        assert not result["passed"]
+        assert result["missing"] == ["DCQCN"]
+
+    def test_disjoint_schemes_raise(self):
+        with pytest.raises(check_regression.RegressionCheckError):
+            check_regression.compare(report(BFC=1.0), report(HPCC=1.0))
+
+
+class TestMain:
+    def test_exit_codes_and_table(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(report(BFC=100_000.0, DCQCN=200_000.0)))
+        cur_path.write_text(json.dumps(report(BFC=101_000.0, DCQCN=199_000.0)))
+        rc = check_regression.main(
+            ["--baseline", str(base_path), "--current", str(cur_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out and "| BFC |" in out
+
+        cur_path.write_text(json.dumps(report(BFC=50_000.0, DCQCN=200_000.0)))
+        rc = check_regression.main(
+            ["--baseline", str(base_path), "--current", str(cur_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "BFC" in out
+
+    def test_unreadable_input_is_reported(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(report(BFC=1.0)))
+        rc = check_regression.main(
+            ["--baseline", str(missing), "--current", str(good)]
+        )
+        assert rc == 1
+        assert "check_regression" in capsys.readouterr().err

@@ -348,3 +348,100 @@ def _spy_data(host, seen):
         return original(packet, iface_index)
 
     return wrapper, original
+
+
+class TestInlinedDequeueEquivalence:
+    """The inlined NIC dequeue must match the generic DRR reference exactly.
+
+    ``NicScheduler.dequeue`` inlines ``DeficitRoundRobin.select`` with the
+    ``_head_size`` / ``_eligible_id`` callbacks merged (plus the folded
+    pacing-wakeup scan of ``_schedule_wakeup``).  These tests drive two
+    identical scenarios — one through the stock inlined path, one through
+    the retained reference helpers — and require identical packet sequences,
+    which keeps the helpers honest as the executable specification.
+    """
+
+    @staticmethod
+    def _use_reference_dequeue(host):
+        nic = host.nic
+
+        def reference_dequeue():
+            now = nic.host.sim.now
+            nic._select_now = now
+            flow_id = nic._drr.select(nic._head_size, nic._eligible_id)
+            if flow_id is None:
+                nic._schedule_wakeup(now)
+                return None
+            return nic.host.build_data_packet(nic._flows[flow_id])
+
+        nic.dequeue = reference_dequeue
+        host._uplink_port.discipline = nic  # same object; dequeue now patched
+
+    def _run_scenario(self, use_reference, cc_factory=None, config=None):
+        from repro.sim.engine import Simulator
+        from repro.sim.flow import reset_flow_ids
+
+        reset_flow_ids()
+        sim = Simulator(seed=42)
+        hosts, switch, registry = build_pair(
+            sim, num_hosts=3, cc_factory=cc_factory, host_config=config
+        )
+        if use_reference:
+            for host in hosts:
+                self._use_reference_dequeue(host)
+        seen = []
+        for i, host in enumerate(hosts):
+            original = host.handle_packet
+
+            def spy(packet, iface_index, _orig=original, _hid=i):
+                if packet.kind is PacketKind.DATA:
+                    seen.append((sim.now, _hid, packet.flow_id, packet.seq))
+                _orig(packet, iface_index)
+
+            host.handle_packet = spy
+        # Competing flows from two senders to one receiver, staggered starts.
+        hosts[0].start_flow(Flow(src=0, dst=2, size=12_000, start_ns=0))
+        hosts[1].start_flow(Flow(src=1, dst=2, size=8_000, start_ns=0))
+        sim.schedule(2_000, hosts[0].start_flow, Flow(src=0, dst=2, size=5_500, start_ns=0))
+        sim.run(until=units.microseconds(200))
+        return seen, sim.events_processed
+
+    def test_line_rate_and_windowed_cc_match_reference(self):
+        for cc_factory in (
+            None,  # windowless fast path (_no_window True)
+            lambda rate: WindowedCongestionControl(rate, window_bytes=3_000),
+        ):
+            inlined = self._run_scenario(False, cc_factory=cc_factory)
+            reference = self._run_scenario(True, cc_factory=cc_factory)
+            assert inlined == reference
+
+
+class TestWindowlessDetection:
+    def test_subclass_overriding_window_bytes_is_not_fast_pathed(self):
+        from repro.sim.host import CongestionControl, _cc_is_windowless
+
+        class SneakyWindow(CongestionControl):
+            # Overrides window_bytes without restating has_window: must be
+            # conservatively treated as windowed.
+            def window_bytes(self, fstate):
+                return 64_000
+
+        class DeclaredWindowless(CongestionControl):
+            has_window = False
+
+            def window_bytes(self, fstate):
+                return None
+
+        assert _cc_is_windowless(CongestionControl(1e9))
+        assert not _cc_is_windowless(SneakyWindow(1e9))
+        assert _cc_is_windowless(DeclaredWindowless(1e9))
+        assert not _cc_is_windowless(WindowedCongestionControl(1e9, 1_000))
+
+    def test_dcqcn_keeps_fast_path_and_hpcc_does_not(self):
+        from repro.congestion.dcqcn import DcqcnControl, DcqcnWindowedControl
+        from repro.congestion.hpcc import HpccControl
+        from repro.sim.host import _cc_is_windowless
+
+        assert _cc_is_windowless(DcqcnControl(1e9))
+        assert not _cc_is_windowless(DcqcnWindowedControl(1e9, window_bytes=1_000))
+        assert not _cc_is_windowless(HpccControl(1e9))

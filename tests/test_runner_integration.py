@@ -6,7 +6,6 @@ Ideal-FQ and BFC have better tails than plain DCQCN, the cross-DC and incast
 scenarios run, and results are deterministic for a fixed seed.
 """
 
-import dataclasses
 
 import pytest
 

@@ -1,7 +1,5 @@
 """Unit tests for runner building blocks and multi-hop BFC pause propagation."""
 
-import pytest
-
 from repro.core.config import BfcConfig
 from repro.core.nic import bfc_nic_class
 from repro.core.switchlogic import BfcSwitch

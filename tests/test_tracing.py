@@ -1,7 +1,5 @@
 """Tests for the optional event-tracing utilities."""
 
-import pytest
-
 from repro.sim import units
 from repro.sim.flow import Flow
 from repro.sim.packet import FlowKey, Packet, PacketKind

@@ -1,7 +1,5 @@
 """Unit tests for VFID hashing and the virtual-flow hash table."""
 
-import pytest
-
 from repro.core.config import BfcConfig
 from repro.core.vfid import FlowEntry, FlowTable, packet_vfid
 from repro.sim.packet import FlowKey, Packet, PacketKind
