@@ -53,8 +53,8 @@ BENCH_SCHEMES = ["BFC", "DCQCN"]
 BENCH_SEED = 11
 
 
-def _bench_configs(duration_us: int) -> Dict[str, ExperimentConfig]:
-    configs = fig5a_configs("tiny", schemes=BENCH_SCHEMES, seed=BENCH_SEED)
+def _bench_configs(duration_us: int, scale: str = "tiny") -> Dict[str, ExperimentConfig]:
+    configs = fig5a_configs(scale, schemes=BENCH_SCHEMES, seed=BENCH_SEED)
     return {
         scheme: replace(config, duration_ns=units.microseconds(duration_us))
         for scheme, config in configs.items()
@@ -69,6 +69,12 @@ def _count_packets(topo) -> int:
             meter = iface.tx.bytes
             total += meter.data_packets + meter.control_packets
     return total
+
+
+#: Number of pending-event-depth probes spread over a run.  Each probe is one
+#: extra engine event (~0.05% of a run), so events/sec stays comparable with
+#: earlier baselines.
+_DEPTH_PROBES = 128
 
 
 def run_one(config: ExperimentConfig) -> Dict[str, float]:
@@ -89,9 +95,22 @@ def run_one(config: ExperimentConfig) -> Dict[str, float]:
         BufferSampler(),
         QueueSampler(),
     )
+    # Probe the queue depth periodically: the ROADMAP question "does the
+    # calendar queue pay off at higher event density?" needs the pending
+    # depth on record next to the events/sec it produced.
+    total_ns = config.total_duration_ns()
+    probe_interval = max(1, total_ns // _DEPTH_PROBES)
+    depth_samples = []
+
+    def probe() -> None:
+        depth_samples.append(sim.pending_events())
+        if sim.now + probe_interval <= total_ns:
+            sim.schedule(probe_interval, probe)
+
+    sim.schedule(probe_interval, probe)
 
     started = time.perf_counter()
-    sim.run(until=config.total_duration_ns())
+    sim.run(until=total_ns)
     wall = time.perf_counter() - started
 
     events = sim.events_processed
@@ -102,12 +121,17 @@ def run_one(config: ExperimentConfig) -> Dict[str, float]:
         "wall_seconds": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
         "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "mean_pending_events": (
+            sum(depth_samples) / len(depth_samples) if depth_samples else 0.0
+        ),
+        "max_pending_events": max(depth_samples) if depth_samples else 0,
+        "calendar_stats": sim.calendar_stats(),
     }
 
 
-def run_benchmark(duration_us: int, repeats: int) -> Dict[str, object]:
+def run_benchmark(duration_us: int, repeats: int, scale: str = "tiny") -> Dict[str, object]:
     per_scheme: Dict[str, Dict[str, float]] = {}
-    for scheme, config in _bench_configs(duration_us).items():
+    for scheme, config in _bench_configs(duration_us, scale).items():
         best = None
         for _ in range(repeats):
             sample = run_one(config)
@@ -120,7 +144,7 @@ def run_benchmark(duration_us: int, repeats: int) -> Dict[str, object]:
     total_wall = sum(s["wall_seconds"] for s in per_scheme.values())
     return {
         "benchmark": "kernel_throughput",
-        "scenario": f"fig5a-tiny/{duration_us}us seed={BENCH_SEED}",
+        "scenario": f"fig5a-{scale}/{duration_us}us seed={BENCH_SEED}",
         "schemes": per_scheme,
         "events_per_sec": total_events / total_wall if total_wall > 0 else 0.0,
         "packets_per_sec": total_packets / total_wall if total_wall > 0 else 0.0,
@@ -151,6 +175,15 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=3, help="take the best of N runs (default 3)"
     )
     parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=["tiny", "small"],
+        help="fig5a scale preset; the tiny default keeps the committed "
+        "baseline (and check_regression.py) comparable across PRs, while "
+        "'small' answers how the calendar queue behaves at ~4x the event "
+        "density",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=DEFAULT_JSON,
@@ -158,13 +191,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_benchmark(args.duration_us, args.repeats)
+    report = run_benchmark(args.duration_us, args.repeats, args.scale)
 
     for scheme, sample in report["schemes"].items():
         print(
             f"{scheme:>8}: {sample['events']:>9,} events in "
             f"{sample['wall_seconds']:.3f}s -> {sample['events_per_sec']:>12,.0f} ev/s, "
-            f"{sample['packets_per_sec']:>11,.0f} pkt/s"
+            f"{sample['packets_per_sec']:>11,.0f} pkt/s "
+            f"(mean pending {sample['mean_pending_events']:,.0f}, "
+            f"bucket width {sample['calendar_stats']['bucket_width_ns']} ns)"
         )
     print(
         f"{'TOTAL':>8}: {report['total_events']:>9,} events in "

@@ -1,0 +1,187 @@
+"""Sharded-simulation scaling benchmark: wall clock and events/sec vs shards.
+
+Measures :mod:`repro.shard` on two representative partitions:
+
+* ``cross-dc`` — a fig9-style two-data-center topology split per DC.  The
+  200x-longer inter-DC delay is the conservative window, so barriers are
+  rare; this is the headline sharding configuration and the one expected to
+  stay cheap even on a single CPU.
+* ``pod`` — the fig5a leaf-spine fabric split per pod.  The window is one
+  intra-fabric link delay (1 us), so this stresses the barrier path; on a
+  single-CPU container it mostly measures the synchronization + cache-
+  alternation overhead that a multi-core machine turns into real speedup.
+
+Honesty notes recorded in the JSON: on a 1-CPU machine (``cpu_count`` field)
+sharding cannot speed anything up — ``overhead_vs_serial`` is the honest
+cost; on >= 2 CPUs the same runs turn the per-shard event streams into
+parallel wall-clock progress.  Records are byte-identical to the
+single-process run either way (``tests/test_shard_determinism.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
+        --duration-us 200 --repeats 1 --json /tmp/shard.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
+
+from repro import __version__
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import fig5a_configs, fig9_configs
+from repro.sim import units
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_shard_scaling.json"
+
+BENCH_SEED = 11
+
+
+def _scenarios(duration_us: int) -> Dict[str, Dict[str, object]]:
+    # The cross-DC scenario runs a 3x longer trace: process spawn and the
+    # (deterministic, per-worker) full topology+trace build are fixed costs,
+    # and the headline number should measure the steady state, not startup.
+    fig9 = fig9_configs("tiny", schemes=("BFC",), seed=BENCH_SEED)["BFC"]
+    fig9 = replace(
+        fig9,
+        duration_ns=units.microseconds(3 * duration_us),
+        drain_ns=units.microseconds(3 * duration_us // 2),
+    )
+    fig5a = fig5a_configs("tiny", schemes=["BFC"], seed=BENCH_SEED)["BFC"]
+    fig5a = replace(fig5a, duration_ns=units.microseconds(duration_us))
+    return {
+        "cross-dc": {"config": fig9, "shard_counts": [1, 2]},
+        "pod": {"config": fig5a, "shard_counts": [1, 2, 4]},
+    }
+
+
+def _measure(config, shards: int) -> Dict[str, object]:
+    started = time.monotonic()
+    result = run_experiment(replace(config, shards=shards))
+    wall = time.monotonic() - started
+    point = {
+        "shards": shards,
+        "wall_seconds": wall,
+        "events": result.events_processed,
+        "events_per_sec": result.events_processed / wall if wall > 0 else 0.0,
+    }
+    stats = result.shard_stats
+    if stats is not None:
+        point.update(
+            {
+                "shards_populated": len(stats["events_per_shard"]),
+                "strategy": stats["strategy"],
+                "window_ns": stats["window_ns"],
+                "cut_links": stats["cut_links"],
+                "barriers": stats["barriers"],
+                "boundary_packets": stats["boundary_packets"],
+            }
+        )
+    return point
+
+
+def run_benchmark(duration_us: int, repeats: int) -> Dict[str, object]:
+    scenarios: Dict[str, object] = {}
+    for name, spec in _scenarios(duration_us).items():
+        # Round-robin the repeats over the shard counts so each point's
+        # best-of-N samples the same wall-clock windows: the container's CPU
+        # throttling drifts over minutes, and only same-window ratios mean
+        # anything.
+        best: Dict[int, Dict[str, object]] = {}
+        for _ in range(repeats):
+            for shards in spec["shard_counts"]:
+                point = _measure(spec["config"], shards)
+                if (
+                    shards not in best
+                    or point["wall_seconds"] < best[shards]["wall_seconds"]
+                ):
+                    best[shards] = point
+        points: List[Dict[str, object]] = [best[s] for s in spec["shard_counts"]]
+        for point in points:
+            print(
+                f"{name:>9} shards={point['shards']}: "
+                f"{point['wall_seconds']:.2f}s, "
+                f"{point['events_per_sec']:,.0f} ev/s"
+                + (
+                    f", {point['barriers']} barriers, window {point['window_ns']} ns"
+                    if "barriers" in point
+                    else ""
+                )
+            )
+        serial_wall = points[0]["wall_seconds"]
+        for point in points[1:]:
+            point["speedup_vs_serial"] = serial_wall / point["wall_seconds"]
+            point["overhead_vs_serial"] = point["wall_seconds"] / serial_wall - 1.0
+        scenarios[name] = {
+            "scheme": "BFC",
+            "duration_us": duration_us,
+            "points": points,
+        }
+    return {
+        "benchmark": "shard_scaling",
+        "seed": BENCH_SEED,
+        "scenarios": scenarios,
+        "repeats": repeats,
+        "note": (
+            "On a 1-CPU machine overhead_vs_serial is the honest cost of the "
+            "conservative barriers plus cache alternation between resident "
+            "shard simulations; wall-clock speedup requires >= 2 CPUs.  "
+            "Records are byte-identical to the single-process run at every "
+            "shard count (tests/test_shard_determinism.py)."
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "repro_version": __version__,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration-us",
+        type=int,
+        default=400,
+        help="traffic window per scenario in simulated microseconds (default 400)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="take the best of N runs (default 2)"
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_JSON,
+        help=f"output JSON path (default {DEFAULT_JSON})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.duration_us, args.repeats)
+    for name, scenario in report["scenarios"].items():
+        for point in scenario["points"]:
+            if "overhead_vs_serial" in point:
+                print(
+                    f"{name:>9} shards={point['shards']}: "
+                    f"speedup x{point['speedup_vs_serial']:.2f} "
+                    f"(overhead {100 * point['overhead_vs_serial']:+.1f}% vs serial)"
+                )
+
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.json, "w", encoding="ascii") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,15 @@ common workflows need no Python code:
 
 ``repro compare --scale tiny --schemes BFC DCQCN HPCC``
     Run several schemes on the same trace and print the comparison table.
+
+``repro shard --shards 4 --scheme BFC --scale small``
+    Run ONE experiment space-parallel across several OS processes
+    (conservative-window sharding; records are identical to a
+    single-process run) and report the partition, window and barrier stats.
+
+``repro topology info --scale tiny --figure fig9 --shards 2``
+    Describe a scenario's topology (host/switch/link counts,
+    oversubscription) and how it would be partitioned into shards.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.campaign import Campaign, CampaignError, summarize_result
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.schemes import SCHEMES, UnknownSchemeError, available_schemes
 from repro.experiments import scenarios
+from repro.shard import STRATEGIES as SHARD_STRATEGIES, PartitionError, ShardError
 from repro.sim import units
 from repro.workloads.distributions import WORKLOADS
 
@@ -115,6 +125,37 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--workers", type=int, default=1,
                         help="process-pool size; >1 runs the figure's configs in parallel")
     figure.add_argument("--json", action="store_true")
+
+    shard = sub.add_parser(
+        "shard",
+        help="run one experiment across several processes (space-parallel)",
+    )
+    shard.add_argument("--scheme", default="BFC", choices=available_schemes())
+    shard.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    shard.add_argument("--workload", default="google", choices=sorted(WORKLOADS))
+    shard.add_argument("--load", type=float, default=0.6)
+    shard.add_argument("--incast", type=float, default=0.05,
+                       help="incast load fraction (0 disables incast)")
+    shard.add_argument("--seed", type=int, default=1)
+    shard.add_argument("--shards", type=int, default=2,
+                       help="number of shard processes (1 = plain single-process run)")
+    shard.add_argument("--strategy", default="auto",
+                       choices=list(SHARD_STRATEGIES),
+                       help="partition strategy (default: per-DC when multi-DC, else per-pod)")
+    shard.add_argument("--json", action="store_true")
+
+    topology = sub.add_parser(
+        "topology", help="inspect a scenario's topology and shard partition"
+    )
+    topology.add_argument("action", choices=["info"])
+    topology.add_argument("--figure", default="fig5a",
+                          choices=sorted(FIGURE_FACTORIES),
+                          help="scenario whose topology to describe (fig9 = cross-DC)")
+    topology.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    topology.add_argument("--shards", type=int, default=2,
+                          help="partition to report cut/window stats for")
+    topology.add_argument("--strategy", default="auto", choices=list(SHARD_STRATEGIES))
+    topology.add_argument("--json", action="store_true")
 
     compare = sub.add_parser("compare", help="run several schemes on one trace")
     compare.add_argument("--schemes", nargs="+", default=["BFC", "DCQCN", "DCQCN+Win"],
@@ -358,6 +399,118 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_shard(args: argparse.Namespace, out) -> int:
+    from dataclasses import replace
+
+    config = _single_config(args.scheme, args.scale, args.workload, args.load,
+                            args.incast, args.seed)
+    config = replace(config, shards=args.shards, shard_strategy=args.strategy)
+    result = run_experiment(config)
+    summary = _result_summary(result)
+    payload = {"summary": summary, "shard_stats": result.shard_stats}
+    if args.json:
+        json.dump(payload, out, indent=2)
+        print(file=out)
+        return 0
+    print(
+        f"Sharded experiment: {config.name} "
+        f"(scale={args.scale}, shards={args.shards}, strategy={args.strategy})",
+        file=out,
+    )
+    for key, value in summary.items():
+        if isinstance(value, float):
+            print(f"  {key:<24s} {value:.4f}", file=out)
+        else:
+            print(f"  {key:<24s} {value}", file=out)
+    stats = result.shard_stats
+    if stats is None:
+        print("\n  (single-process run: no shard statistics)", file=out)
+        return 0
+    print(file=out)
+    print("Partition:", file=out)
+    _print_partition(stats, out)
+    if "barriers" in stats:
+        print(f"  barriers               {stats['barriers']}", file=out)
+        print(f"  boundary packets       {stats['boundary_packets']}", file=out)
+        for shard, events in stats.get("events_per_shard", {}).items():
+            print(f"  shard {shard} events         {events}", file=out)
+    return 0
+
+
+def _print_partition(stats: Dict[str, object], out) -> None:
+    """Shared partition-stats block of ``repro shard`` and ``repro topology``."""
+    print(f"  strategy               {stats['strategy']}", file=out)
+    for shard, sizes in stats["shards"].items():
+        print(
+            f"  shard {shard:<17s} {sizes['hosts']} hosts, "
+            f"{sizes['switches']} switches",
+            file=out,
+        )
+    print(f"  cut links              {stats['cut_links']}", file=out)
+    for link_class, count in stats.get("cut_links_by_class", {}).items():
+        print(f"    {link_class:<21s} {count}", file=out)
+    window = stats.get("window_ns")
+    if window is not None:
+        print(f"  window (lookahead)     {window} ns", file=out)
+    else:
+        print("  window (lookahead)     n/a (no cut links)", file=out)
+
+
+def cmd_topology(args: argparse.Namespace, out) -> int:
+    # Build only the wired topology — not the traffic trace — so inspecting
+    # a paper-scale cut stays cheap.
+    from repro.experiments.runner import build_topology_only
+    from repro.shard import partition_topology
+
+    factory = FIGURE_FACTORIES[args.figure]
+    configs = factory(args.scale)
+    config = next(iter(configs.values()))
+    topo = build_topology_only(config)
+
+    switches_by_tier: Dict[str, int] = {}
+    for switch in topo.all_switches():
+        tier = getattr(switch, "tier", "unknown")
+        switches_by_tier[tier] = switches_by_tier.get(tier, 0) + 1
+    links_by_class: Dict[str, int] = {}
+    for link in topo.links:
+        links_by_class[link.link_class] = links_by_class.get(link.link_class, 0) + 1
+
+    spec = partition_topology(topo, args.shards, args.strategy)
+    info = {
+        "figure": args.figure,
+        "scale": args.scale,
+        "hosts": len(topo.hosts),
+        "switches": len(topo.switches),
+        "switches_by_tier": dict(sorted(switches_by_tier.items())),
+        "links": len(topo.links),
+        "links_by_class": dict(sorted(links_by_class.items())),
+        "oversubscription": config.clos.oversubscription(),
+        "link_rate_gbps": config.clos.link_rate_bps / 1e9,
+        "link_delay_ns": config.clos.link_delay_ns,
+        "partition": spec.stats(topo),
+    }
+    if args.json:
+        json.dump(info, out, indent=2)
+        print(file=out)
+        return 0
+    print(f"Topology of {args.figure} at scale '{args.scale}':", file=out)
+    print(f"  hosts                  {info['hosts']}", file=out)
+    tiers = ", ".join(f"{n} {t}" for t, n in info["switches_by_tier"].items())
+    print(f"  switches               {info['switches']} ({tiers})", file=out)
+    classes = ", ".join(f"{n} {c}" for c, n in info["links_by_class"].items())
+    print(f"  links                  {info['links']} ({classes})", file=out)
+    print(f"  oversubscription       {info['oversubscription']:g}:1", file=out)
+    print(
+        f"  link rate / delay      {info['link_rate_gbps']:g} Gbps / "
+        f"{info['link_delay_ns']} ns",
+        file=out,
+    )
+    part = info["partition"]
+    print(f"\nPartition into {args.shards} shard(s):", file=out)
+    _print_partition(part, out)
+    return 0
+
+
 COMMANDS = {
     "schemes": cmd_schemes,
     "workloads": cmd_workloads,
@@ -366,6 +519,8 @@ COMMANDS = {
     "sweep": cmd_campaign,
     "figure": cmd_figure,
     "compare": cmd_compare,
+    "shard": cmd_shard,
+    "topology": cmd_topology,
 }
 
 
@@ -377,11 +532,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     handler = COMMANDS[args.command]
     try:
         return handler(args, out)
-    except (CampaignError, UnknownSchemeError) as exc:
-        # Bad-input errors from the campaign layer (duplicate sweep values,
-        # unknown scheme, ...) read like argparse errors instead of
-        # tracebacks.  Deliberately narrow: the simulator's own ValueErrors
-        # are bugs and must stay loud.
+    except (CampaignError, UnknownSchemeError, PartitionError, ShardError) as exc:
+        # Bad-input errors from the campaign and shard layers (duplicate
+        # sweep values, unknown scheme, a partition the topology cannot
+        # satisfy, unsupported shard options) read like argparse errors
+        # instead of tracebacks.  Deliberately narrow: the simulator's own
+        # ValueErrors are bugs and must stay loud.
         message = exc.args[0] if exc.args else exc
         print(f"{parser.prog} {args.command}: error: {message}", file=sys.stderr)
         return 2

@@ -123,6 +123,11 @@ class ExperimentConfig:
     cross_dc: Optional[CrossDcParams] = None
     gateway_buffer_bytes: Optional[int] = None
     max_events: Optional[int] = None
+    #: Space-parallel sharding: >1 runs this one experiment across several
+    #: OS processes via :mod:`repro.shard` (one topology, conservatively
+    #: synchronized time windows).  1 is the ordinary single-process run.
+    shards: int = 1
+    shard_strategy: str = "auto"
 
     def total_duration_ns(self) -> int:
         drain = self.drain_ns if self.drain_ns > 0 else self.duration_ns // 2
@@ -152,6 +157,9 @@ class ExperimentResult:
     flows_offered: int
     events_processed: int
     wall_seconds: float
+    #: Filled by the sharded runtime only: partition/cut/window/barrier
+    #: statistics of the run (None for single-process runs).
+    shard_stats: Optional[Dict[str, object]] = None
 
     # -- convenience ------------------------------------------------------------
 
@@ -306,10 +314,17 @@ def _harvest_utilization(topo: Topology, duration_ns: int) -> Dict[int, float]:
     return result
 
 
-def _harvest_bfc_stats(topo: Topology) -> Tuple[Optional[float], Dict[str, int]]:
-    bfc_switches = [s for s in topo.all_switches() if isinstance(s, BfcSwitch)]
+def _collect_bfc_stats(switches) -> Optional[Tuple[int, int, Dict[str, int]]]:
+    """Raw BFC statistics over an iterable of switches, or ``None``.
+
+    Returns ``(assignments, collisions, vfid_stats)`` so callers can combine
+    several partial collections before dividing (the sharded runtime sums
+    per-shard numerators and denominators; :func:`_harvest_bfc_stats` divides
+    directly).
+    """
+    bfc_switches = [s for s in switches if isinstance(s, BfcSwitch)]
     if not bfc_switches:
-        return None, {}
+        return None
     assignments = 0
     collisions = 0
     vfid_stats = {
@@ -337,30 +352,72 @@ def _harvest_bfc_stats(topo: Topology) -> Tuple[Optional[float], Dict[str, int]]
         vfid_stats["pauses"] += switch.agent.counters.get("pauses")
         vfid_stats["resumes"] += switch.agent.counters.get("resumes")
         vfid_stats["bloom_frames_sent"] += switch.agent.counters.get("bloom_frames_sent")
+    return assignments, collisions, vfid_stats
+
+
+def _harvest_bfc_stats(topo: Topology) -> Tuple[Optional[float], Dict[str, int]]:
+    collected = _collect_bfc_stats(topo.all_switches())
+    if collected is None:
+        return None, {}
+    assignments, collisions, vfid_stats = collected
     collision_fraction = collisions / assignments if assignments else 0.0
     return collision_fraction, vfid_stats
 
 
-def _aggregate_switch_counters(topo: Topology) -> Dict[str, int]:
+def _aggregate_switch_counters(topo: Topology, switches=None) -> Dict[str, int]:
     totals: Dict[str, int] = {}
-    for switch in topo.all_switches():
+    for switch in topo.all_switches() if switches is None else switches:
         for name, value in switch.counters.as_dict().items():
             totals[name] = totals.get(name, 0) + value
     return totals
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment end to end and return its measurements."""
-    started = time.monotonic()
+def build_simulation(
+    config: ExperimentConfig,
+) -> Tuple[Simulator, SchemeEnvironment, Topology, FlowTrace]:
+    """Deterministically build the full simulation state of one experiment.
+
+    Everything up to (but excluding) starting the flows: the simulator, the
+    scheme environment, the wired topology and the generated flow trace.
+    This is the shared front half of :func:`run_experiment`; the sharded
+    runtime (:mod:`repro.shard`) calls it in every worker process so each
+    shard reproduces the exact same component RNG states and flow ids as a
+    single-process run.
+    """
     reset_flow_ids()
     sim = Simulator(seed=config.seed)
     env = _build_environment(config, sim)
     topo = _build_topology(config, env)
-
-    host_ids = topo.host_ids()
     trace = config.traffic.build(
-        host_ids, topo.host_link_rate_bps, config.duration_ns
+        topo.host_ids(), topo.host_link_rate_bps, config.duration_ns
     )
+    return sim, env, topo, trace
+
+
+def build_topology_only(config: ExperimentConfig) -> Topology:
+    """Build just the wired topology of one experiment — no traffic trace.
+
+    For cheap topology/partition inspection (the ``repro topology`` CLI):
+    paper-scale trace generation costs far more than the fabric build.
+    """
+    sim = Simulator(seed=config.seed)
+    env = _build_environment(config, sim)
+    return _build_topology(config, env)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment end to end and return its measurements.
+
+    With ``config.shards > 1`` the run is delegated to the sharded runtime,
+    which executes the same topology across several OS processes and merges
+    the shard measurements back into one :class:`ExperimentResult`.
+    """
+    if config.shards > 1:
+        from repro.shard.coordinator import run_sharded_experiment
+
+        return run_sharded_experiment(config)
+    started = time.monotonic()
+    sim, env, topo, trace = build_simulation(config)
     topo.start_flows(trace)
 
     buffer_sampler = BufferSampler()

@@ -1,0 +1,335 @@
+"""Topology partitioning for space-parallel sharded simulation.
+
+A *partition* assigns every node (hosts and switches) of a built
+:class:`~repro.topology.topology.Topology` to one of ``num_shards`` shards.
+Links whose endpoints land in different shards become *cut links*: each cut
+link is replaced, at run time, by a cross-process boundary channel whose
+latency is the link's real propagation delay.  That delay is exactly the
+*lookahead* a conservative parallel discrete-event simulation needs, so the
+safe synchronization window of a partition is::
+
+    window_ns = min(delay_ns of every cut link)
+
+Backpressure decisions in BFC (and the schemes it is compared against) are
+per-hop local, which is what makes a spatial cut of the fabric semantically
+clean: no component ever reads another node's state directly — everything
+crosses a link as a packet.
+
+Strategies
+----------
+
+``"pod"``
+    One *pod* (a ToR switch plus all of its hosts) never splits.  Pods are
+    grouped contiguously into shards; spine switches are spread round-robin.
+    In a multi-DC topology the shards are first divided between the DCs so
+    that the DC boundary is always a cut.
+``"dc"``
+    One shard per data center (gateways stay with their DC); the only cut is
+    the long-delay inter-DC link, giving the largest possible window.
+``"greedy"``
+    Generic fallback for irregular topologies: pods are packed onto shards
+    largest-first onto the least-loaded shard (a min-cut-flavoured balance
+    heuristic that still keeps every host with its ToR); all remaining
+    switches are spread round-robin by sorted name.
+``"auto"``
+    ``"dc"`` when the topology spans multiple DCs and ``num_shards`` divides
+    evenly into them, else ``"pod"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.topology.topology import Topology
+
+STRATEGIES = ("auto", "pod", "dc", "greedy")
+
+
+class PartitionError(ValueError):
+    """Raised when a topology cannot be partitioned as requested."""
+
+
+@dataclass(frozen=True)
+class CutLink:
+    """One link whose endpoints live in different shards."""
+
+    a: str
+    b: str
+    shard_a: int
+    shard_b: int
+    delay_ns: int
+    rate_bps: float
+    link_class: str
+
+
+@dataclass
+class PartitionSpec:
+    """The result of partitioning one topology."""
+
+    num_shards: int
+    strategy: str
+    shard_of: Dict[str, int]  # node name -> shard index
+    cuts: List[CutLink] = field(default_factory=list)
+
+    @property
+    def window_ns(self) -> Optional[int]:
+        """Conservative synchronization window: the smallest cut-link delay."""
+        if not self.cuts:
+            return None
+        return min(cut.delay_ns for cut in self.cuts)
+
+    def shard_of_host(self, topo: Topology, host_id: int) -> int:
+        return self.shard_of[topo.hosts[host_id].name]
+
+    def nonempty_shards(self) -> List[int]:
+        return sorted(set(self.shard_of.values()))
+
+    def stats(self, topo: Topology) -> Dict[str, object]:
+        """Shard sizes and cut-link statistics (for the CLI and benchmarks)."""
+        host_names = {host.name for host in topo.hosts.values()}
+        per_shard: Dict[int, Dict[str, int]] = {}
+        for name, shard in self.shard_of.items():
+            entry = per_shard.setdefault(shard, {"hosts": 0, "switches": 0})
+            entry["hosts" if name in host_names else "switches"] += 1
+        cuts_by_class: Dict[str, int] = {}
+        for cut in self.cuts:
+            cuts_by_class[cut.link_class] = cuts_by_class.get(cut.link_class, 0) + 1
+        return {
+            "num_shards": self.num_shards,
+            "strategy": self.strategy,
+            "shards": {str(s): per_shard[s] for s in sorted(per_shard)},
+            "cut_links": len(self.cuts),
+            "cut_links_by_class": dict(sorted(cuts_by_class.items())),
+            "window_ns": self.window_ns,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Topology inspection helpers
+# ---------------------------------------------------------------------------
+
+
+def _dc_of_switches(topo: Topology) -> Dict[str, int]:
+    """Map every switch to a data center.
+
+    ToRs inherit the DC of their hosts; every other switch gets the DC of its
+    nearest ToR via a breadth-first sweep over the link graph (deterministic:
+    neighbours are visited in sorted-name order, and a node keeps the first
+    DC that reaches it).  Gateways sit one hop above their own DC's spines
+    but several hops from the remote DC's ToRs, so they resolve correctly.
+    """
+    adjacency: Dict[str, List[str]] = {}
+    for link in topo.links:
+        adjacency.setdefault(link.a_name, []).append(link.b_name)
+        adjacency.setdefault(link.b_name, []).append(link.a_name)
+    for neighbours in adjacency.values():
+        neighbours.sort()
+
+    dc_of: Dict[str, int] = {}
+    frontier: List[str] = []
+    for host_id in topo.host_ids():
+        tor_name = topo.tor_of_host[host_id]
+        if tor_name not in dc_of:
+            dc_of[tor_name] = topo.dc_of_host.get(host_id, 0)
+            frontier.append(tor_name)
+    frontier.sort()
+    while frontier:
+        next_frontier: List[str] = []
+        for name in frontier:
+            for neighbour in adjacency.get(name, ()):
+                if neighbour in topo.switches and neighbour not in dc_of:
+                    dc_of[neighbour] = dc_of[name]
+                    next_frontier.append(neighbour)
+        next_frontier.sort()
+        frontier = next_frontier
+    for switch in topo.switches:
+        dc_of.setdefault(switch, 0)
+    return dc_of
+
+
+def _pods(topo: Topology) -> Dict[str, List[str]]:
+    """ToR name -> [host names], in sorted host-id order."""
+    pods: Dict[str, List[str]] = {}
+    for host_id in topo.host_ids():
+        pods.setdefault(topo.tor_of_host[host_id], []).append(
+            topo.hosts[host_id].name
+        )
+    return pods
+
+
+def _contiguous_groups(n_items: int, n_groups: int) -> List[int]:
+    """Group index of each item when splitting items into contiguous runs."""
+    return [item * n_groups // n_items for item in range(n_items)]
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def _assign_pod(
+    topo: Topology, num_shards: int, dc_of: Dict[str, int]
+) -> Dict[str, int]:
+    """Pods contiguous, spines round-robin; DCs get disjoint shard blocks."""
+    pods = _pods(topo)
+    dcs = sorted(set(dc_of.values()))
+    if len(dcs) > num_shards:
+        # Fewer shards than DCs: group whole DCs contiguously.
+        return _assign_dc(topo, num_shards, dc_of)
+
+    # Allocate each DC a contiguous block of shards, proportional to its pod
+    # count (every DC gets at least one shard, remainders go to earlier DCs).
+    pod_names = sorted(pods)
+    pods_per_dc = {dc: [p for p in pod_names if dc_of[p] == dc] for dc in dcs}
+    total_pods = len(pod_names)
+    blocks: Dict[int, List[int]] = {}
+    start = 0
+    remaining = num_shards
+    for i, dc in enumerate(dcs):
+        left = len(dcs) - i - 1
+        share = max(1, round(num_shards * len(pods_per_dc[dc]) / max(1, total_pods)))
+        share = min(share, remaining - left)  # leave >= 1 shard per later DC
+        blocks[dc] = list(range(start, start + share))
+        start += share
+        remaining -= share
+    # Give any unallocated trailing shards to the last DC's block.
+    if start < num_shards:
+        blocks[dcs[-1]].extend(range(start, num_shards))
+
+    shard_of: Dict[str, int] = {}
+    for dc in dcs:
+        block = blocks[dc]
+        dc_pods = pods_per_dc[dc]
+        n_pod_shards = min(len(block), len(dc_pods))
+        groups = _contiguous_groups(len(dc_pods), n_pod_shards)
+        for index, tor_name in enumerate(dc_pods):
+            shard = block[groups[index]]
+            shard_of[tor_name] = shard
+            for host_name in pods[tor_name]:
+                shard_of[host_name] = shard
+        # Non-ToR switches of this DC: if the block has a shard beyond the
+        # pod shards, they ALL go to the first such slot — one spines-only
+        # shard per DC.  Keeping the spine tier together means any two
+        # packets contesting the same downstream queue cross the same shard
+        # transitions, so the per-shard capture order carries the
+        # single-process tie-break end to end (see the determinism notes in
+        # :mod:`repro.shard.coordinator`).  With no spare slot, spread them
+        # round-robin over the DC's pod shards.
+        others = sorted(
+            name
+            for name, switch in topo.switches.items()
+            if dc_of[name] == dc and name not in shard_of
+        )
+        spine_slots = block[n_pod_shards:n_pod_shards + 1] or block
+        for index, name in enumerate(others):
+            shard_of[name] = spine_slots[index % len(spine_slots)]
+    return shard_of
+
+
+def _assign_dc(
+    topo: Topology, num_shards: int, dc_of: Dict[str, int]
+) -> Dict[str, int]:
+    dcs = sorted(set(dc_of.values()))
+    if len(dcs) < 2:
+        raise PartitionError(
+            "the 'dc' strategy needs a multi-DC topology; use 'pod' instead"
+        )
+    groups = _contiguous_groups(len(dcs), min(num_shards, len(dcs)))
+    shard_of_dc = {dc: groups[i] for i, dc in enumerate(dcs)}
+    shard_of: Dict[str, int] = {}
+    for host_id, host in topo.hosts.items():
+        shard_of[host.name] = shard_of_dc[topo.dc_of_host.get(host_id, 0)]
+    for name in topo.switches:
+        shard_of[name] = shard_of_dc[dc_of[name]]
+    return shard_of
+
+
+def _assign_greedy(topo: Topology, num_shards: int) -> Dict[str, int]:
+    """Balanced pod packing: largest pod first onto the least-loaded shard."""
+    pods = _pods(topo)
+    loads = [0] * num_shards
+    shard_of: Dict[str, int] = {}
+    order = sorted(pods, key=lambda tor: (-len(pods[tor]), tor))
+    for tor_name in order:
+        shard = min(range(num_shards), key=lambda s: (loads[s], s))
+        loads[shard] += len(pods[tor_name]) + 1
+        shard_of[tor_name] = shard
+        for host_name in pods[tor_name]:
+            shard_of[host_name] = shard
+    others = sorted(name for name in topo.switches if name not in shard_of)
+    for index, name in enumerate(others):
+        shard_of[name] = index % num_shards
+    return shard_of
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def partition_topology(
+    topo: Topology, num_shards: int, strategy: str = "auto"
+) -> PartitionSpec:
+    """Partition a built topology into ``num_shards`` shards.
+
+    The assignment is a pure function of the topology and the arguments, so
+    every worker process computes an identical partition independently.
+    """
+    if num_shards < 1:
+        raise PartitionError(f"num_shards must be >= 1, got {num_shards}")
+    if strategy not in STRATEGIES:
+        raise PartitionError(
+            f"unknown strategy {strategy!r}; choose from {', '.join(STRATEGIES)}"
+        )
+    dc_of = _dc_of_switches(topo)
+    num_dcs = len(set(dc_of.values()))
+
+    if num_shards == 1:
+        shard_of = {host.name: 0 for host in topo.hosts.values()}
+        shard_of.update({name: 0 for name in topo.switches})
+        return PartitionSpec(1, strategy, shard_of, [])
+
+    resolved = strategy
+    if strategy == "auto":
+        resolved = "dc" if num_dcs > 1 and num_shards <= num_dcs else "pod"
+    if resolved == "dc":
+        shard_of = _assign_dc(topo, num_shards, dc_of)
+    elif resolved == "pod":
+        shard_of = _assign_pod(topo, num_shards, dc_of)
+    else:
+        shard_of = _assign_greedy(topo, num_shards)
+
+    cuts: List[CutLink] = []
+    for link in topo.links:
+        shard_a = shard_of[link.a_name]
+        shard_b = shard_of[link.b_name]
+        if shard_a != shard_b:
+            cuts.append(
+                CutLink(
+                    a=link.a_name,
+                    b=link.b_name,
+                    shard_a=shard_a,
+                    shard_b=shard_b,
+                    delay_ns=link.delay_ns,
+                    rate_bps=link.rate_bps,
+                    link_class=link.link_class,
+                )
+            )
+
+    spec = PartitionSpec(num_shards, resolved, shard_of, cuts)
+    _validate(topo, spec)
+    return spec
+
+
+def _validate(topo: Topology, spec: PartitionSpec) -> None:
+    for host_id in topo.host_ids():
+        host_name = topo.hosts[host_id].name
+        tor_name = topo.tor_of_host[host_id]
+        if spec.shard_of[host_name] != spec.shard_of[tor_name]:
+            raise PartitionError(
+                f"host {host_name} split from its ToR {tor_name}: "
+                "hosts must stay with their ToR"
+            )
+    if spec.cuts and spec.window_ns is not None and spec.window_ns <= 0:
+        raise PartitionError("cut links must have positive propagation delay")

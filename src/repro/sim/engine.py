@@ -2,7 +2,8 @@
 
 The event queue is a *calendar queue* (Brown 1988): a power-of-two ring of
 time buckets, each covering ``2**shift`` nanoseconds, holding plain
-``(time, seq, callback, args)`` tuples in insertion (FIFO) order.  Inserting
+``(time, origin, parent, parent2, parent3, seq, callback, args)`` tuples in
+insertion (FIFO) order.  Inserting
 an event is an O(1) list append; the bucket currently being served is sorted
 once (C timsort over nearly-sorted input) and then consumed by index, so the
 per-event cost has no heap log-factor even at high event density.  Three side
@@ -18,10 +19,23 @@ structures complete the design:
   inter-event gap relative to the width): when buckets run too full or mostly
   empty the queue is rebuilt with a better width and ring size.
 
-Events scheduled for the same instant run in strictly increasing ``seq``
-order — identical to the previous binary-heap engine, so a fixed seed still
-produces bit-identical runs.  ``seq`` is unique, which also means an ordering
-decision never compares beyond the first two tuple fields.
+Events scheduled for the same instant run in strictly increasing
+``(origin, parent, parent2, parent3, seq)`` order: ``origin`` is the
+simulated time at which the event was *scheduled*, and the ``parent*``
+fields are the origins one, two and three levels up its scheduling ancestry
+(the origin of the event that scheduled it, and so on).  For everything
+scheduled through the public API the origin is simply ``now`` — which is
+non-decreasing over a run — and, at any one instant, events fire in ancestry
+order, so the inherited ancestry prefixes are non-decreasing too: the
+``(time, ancestry, seq)`` order is provably identical to plain ``seq`` order
+and a fixed seed still produces bit-identical runs (the golden-records
+fixture pins this).  The ancestry fields exist for the sharded runtime
+(:mod:`repro.shard`): a boundary packet re-injected from another shard
+carries its departure instant, serialization start and two further upstream
+scheduling instants as its ancestry, which slots the delivery among local
+same-time events exactly where a single-process run inserts the
+peer-delivery post — four ancestry levels deep.  ``seq`` is unique, so an
+ordering decision never compares into the callback.
 
 Cancellation is handled by the :class:`Event` handle that
 :meth:`Simulator.schedule` returns: cancelled sequence numbers are recorded
@@ -139,6 +153,15 @@ class Simulator:
     def __init__(self, seed: int = 1) -> None:
         self.now: int = 0
         self._seq: int = 0
+        #: Scheduling ancestry (origin, then two ancestor origins) of the
+        #: event that is currently executing; new events inherit
+        #: ``(_cur_origin, _cur_parent, _cur_parent2)`` as their
+        #: ``(parent, parent2, parent3)``.  Read by the sharded runtime's
+        #: boundary capture.  (The executing event's own ``parent3`` is never
+        #: needed by anyone, so no register is kept for it.)
+        self._cur_origin: int = 0
+        self._cur_parent: int = 0
+        self._cur_parent2: int = 0
         self._cancelled: set = set()
         self._rng = random.Random(seed)
         self._events_processed: int = 0
@@ -192,7 +215,10 @@ class Simulator:
         time_ns = self.now + int(delay_ns)
         seq = self._seq
         self._seq = seq + 1
-        self._insert((time_ns, seq, callback, args))
+        self._insert(
+            (time_ns, self.now, self._cur_origin, self._cur_parent,
+             self._cur_parent2, seq, callback, args)
+        )
         return Event(time_ns, seq, self)
 
     def schedule_at(self, time_ns: int, callback: Callable[..., None], *args: Any) -> Event:
@@ -204,8 +230,45 @@ class Simulator:
         time_ns = int(time_ns)
         seq = self._seq
         self._seq = seq + 1
-        self._insert((time_ns, seq, callback, args))
+        self._insert(
+            (time_ns, self.now, self._cur_origin, self._cur_parent,
+             self._cur_parent2, seq, callback, args)
+        )
         return Event(time_ns, seq, self)
+
+    def schedule_boundary(
+        self,
+        time_ns: int,
+        ancestry: tuple,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Schedule an event whose scheduling ancestry lies in another shard.
+
+        Used only by the sharded runtime to re-inject a boundary packet
+        another shard transmitted: ``ancestry`` is the 4-tuple
+        ``(origin, parent, parent2, parent3)`` of the peer-delivery post the
+        transmitting shard captured (departure instant, serialization start,
+        and two further upstream scheduling instants).  Among events firing
+        at the same time, this entry orders exactly where the single-process
+        schedule places that post, down to four ancestry levels.
+        """
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns, current time is {self.now} ns"
+            )
+        origin_ns, parent_ns, parent2_ns, parent3_ns = ancestry
+        if not parent3_ns <= parent2_ns <= parent_ns <= origin_ns <= time_ns:
+            raise SimulationError(
+                f"boundary ancestry must be non-increasing and precede the "
+                f"delivery time, got {ancestry} for delivery at {time_ns}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._insert(
+            (int(time_ns), int(origin_ns), int(parent_ns), int(parent2_ns),
+             int(parent3_ns), seq, callback, args)
+        )
 
     def post(self, delay_ns: int, callback: Callable[..., None], *args: Any) -> None:
         """Like :meth:`schedule`, but fire-and-forget: no cancellation handle.
@@ -218,35 +281,51 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay_ns})")
         seq = self._seq
         self._seq = seq + 1
-        time_ns = self.now + int(delay_ns)
+        now = self.now
+        parent = self._cur_origin
+        parent2 = self._cur_parent
+        parent3 = self._cur_parent2
+        time_ns = now + int(delay_ns)
         # _insert(), inlined: this is the hottest scheduling entry point.
         if time_ns < self._cal_limit:
             vb = time_ns >> self._shift
-            if vb != self._vb:
-                self._buckets[vb & self._mask].append((time_ns, seq, callback, args))
+            if vb > self._vb:
+                self._buckets[vb & self._mask].append(
+                    (time_ns, now, parent, parent2, parent3, seq, callback, args)
+                )
                 count = self._cal_count + 1
                 self._cal_count = count
                 if count > self._grow_at:
                     self._retune(force=True)
             else:
-                heapq.heappush(self._extra, (time_ns, seq, callback, args))
+                heapq.heappush(
+                    self._extra,
+                    (time_ns, now, parent, parent2, parent3, seq, callback, args),
+                )
         else:
-            heapq.heappush(self._overflow, (time_ns, seq, callback, args))
+            heapq.heappush(
+                self._overflow,
+                (time_ns, now, parent, parent2, parent3, seq, callback, args),
+            )
 
     def _insert(self, entry: tuple) -> None:
-        """File one ``(time, seq, callback, args)`` entry into the calendar."""
+        """File one ``(time, origin, parent, parent2, parent3, seq, callback, args)`` entry."""
         time_ns = entry[0]
         if time_ns < self._cal_limit:
             vb = time_ns >> self._shift
-            if vb != self._vb:
+            if vb > self._vb:
                 self._buckets[vb & self._mask].append(entry)
                 count = self._cal_count + 1
                 self._cal_count = count
                 if count > self._grow_at:
                     self._retune(force=True)
             else:
-                # The bucket being served is already sorted; late arrivals for
-                # the same bucket go to a side heap consulted on every pop.
+                # The bucket being served is already sorted, so its late
+                # arrivals go to a side heap consulted on every pop.  Entries
+                # *behind* the serve pointer (possible between epoch-stepped
+                # run() calls, whose serving may peek ahead of the clock) go
+                # there too: they precede every ring entry by construction,
+                # and the pop path drains the side heap first.
                 heapq.heappush(self._extra, entry)
         else:
             heapq.heappush(self._overflow, entry)
@@ -260,6 +339,42 @@ class Simulator:
             + len(self._extra)
             + len(self._overflow)
         )
+
+    def next_event_time(self) -> Optional[int]:
+        """Earliest pending entry's firing time, or ``None`` when idle.
+
+        Cancelled entries that have not been reaped yet are included, which
+        can only *under*-estimate the true next firing time — safe for the
+        conservative window computation of the sharded runtime (the stale
+        entry is purged by the next ``run`` call, so progress is preserved).
+        Deterministic: cancellation state is itself deterministic.
+        """
+        best: Optional[int] = None
+        cur = self._cur
+        if cur:
+            best = cur[-1][0]  # sorted descending, served from the tail
+        extra = self._extra
+        if extra and (best is None or extra[0][0] < best):
+            best = extra[0][0]
+        if self._cal_count:
+            # Every ring entry lies within one revolution ahead of the serve
+            # pointer, and each slot maps to exactly one virtual bucket in
+            # that window — so the first non-empty slot in serve order holds
+            # the ring's earliest entries.
+            buckets = self._buckets
+            mask = self._mask
+            vb = self._vb
+            for step in range(1, self._nbuckets + 1):
+                bucket = buckets[(vb + step) & mask]
+                if bucket:
+                    head = min(bucket)[0]
+                    if best is None or head < best:
+                        best = head
+                    break
+        overflow = self._overflow
+        if overflow and (best is None or overflow[0][0] < best):
+            best = overflow[0][0]
+        return best
 
     # -- calendar internals -------------------------------------------------
 
@@ -349,7 +464,7 @@ class Simulator:
         """Virtual bucket of the earliest entry stored in the ring.
 
         Only called when the ring is known to be non-empty.  Tuple ``min``
-        never compares past ``(time, seq)`` because ``seq`` is unique.
+        never compares into the callback because ``seq`` is unique.
         """
         best = None
         for bucket in self._buckets:
@@ -370,7 +485,7 @@ class Simulator:
         entries.extend(self._overflow)
         cancelled = self._cancelled
         if cancelled:
-            entries = [entry for entry in entries if entry[1] not in cancelled]
+            entries = [entry for entry in entries if entry[5] not in cancelled]
             cancelled.clear()
         return entries
 
@@ -490,21 +605,21 @@ class Simulator:
         cur = self._cur
         if cur:
             # Filtering preserves the descending serve order.
-            cur[:] = [entry for entry in cur if entry[1] not in cancelled]
+            cur[:] = [entry for entry in cur if entry[5] not in cancelled]
         removed_from_ring = 0
         for bucket in self._buckets:
             if bucket:
                 before = len(bucket)
-                bucket[:] = [entry for entry in bucket if entry[1] not in cancelled]
+                bucket[:] = [entry for entry in bucket if entry[5] not in cancelled]
                 removed_from_ring += before - len(bucket)
         self._cal_count -= removed_from_ring
         extra = self._extra
         if extra:
-            extra[:] = [entry for entry in extra if entry[1] not in cancelled]
+            extra[:] = [entry for entry in extra if entry[5] not in cancelled]
             heapq.heapify(extra)
         overflow = self._overflow
         if overflow:
-            overflow[:] = [entry for entry in overflow if entry[1] not in cancelled]
+            overflow[:] = [entry for entry in overflow if entry[5] not in cancelled]
             heapq.heapify(overflow)
         cancelled.clear()
 
@@ -559,7 +674,7 @@ class Simulator:
                         entry = self._advance()
                         if entry is None:
                             break
-                time, seq, callback, args = entry
+                time, origin, parent, parent2, parent3, seq, callback, args = entry
                 if cancelled and seq in cancelled:
                     cancelled.discard(seq)
                     continue
@@ -567,19 +682,19 @@ class Simulator:
                     self._insert(entry)
                     break
                 self.now = time
+                self._cur_origin = origin
+                self._cur_parent = parent
+                self._cur_parent2 = parent2
                 callback(*args)
                 processed += 1
         finally:
             self._running = False
             self._events_processed += processed
-            if self._vb > (self.now >> self._shift):
-                # Serving may have peeked ahead of the clock without firing —
-                # an `until` put-back, or a queue tail made of cancelled
-                # entries that were popped and discarded.  Events inserted
-                # after this run() returns would then land behind the serve
-                # pointer and violate the ring's slot mapping, so re-anchor
-                # the calendar at the clock before handing back.
-                self._rebuild(self._shift, self._nbuckets)
+            # Serving may have peeked ahead of the clock without firing — an
+            # `until` put-back, or a queue tail made of cancelled entries.
+            # That needs no repair: inserts at or behind the serve pointer's
+            # bucket are filed into the side heap (see _insert), which the
+            # pop path always drains first.
         # Advance the clock to the end of the requested window unless we
         # stopped early because of the event cap (in which case the next run
         # call must resume from the stop time, not from `until`).

@@ -166,3 +166,63 @@ class TestCompareAndFigure:
         assert code == 0
         payload = json.loads(output)
         assert len(payload) >= 3
+
+
+class TestTopologyCommand:
+    def test_info_text_output(self):
+        code, output = run_cli(["topology", "info", "--shards", "2"])
+        assert code == 0
+        assert "hosts" in output
+        assert "oversubscription" in output
+        assert "cut links" in output
+        assert "window (lookahead)" in output
+
+    def test_info_json_cross_dc(self):
+        code, output = run_cli(
+            ["topology", "info", "--figure", "fig9", "--shards", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["hosts"] == 16
+        assert payload["switches_by_tier"]["gateway"] == 2
+        assert payload["partition"]["strategy"] == "dc"
+        assert payload["partition"]["cut_links_by_class"] == {"inter-dc": 1}
+        # Lookahead = the cross-DC propagation delay.
+        assert payload["partition"]["window_ns"] == 20_000
+
+    def test_info_single_shard_has_no_cuts(self):
+        code, output = run_cli(["topology", "info", "--shards", "1", "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["partition"]["cut_links"] == 0
+        assert payload["partition"]["window_ns"] is None
+
+
+class TestShardCommand:
+    def test_shard_json_reports_partition_and_barriers(self):
+        code, output = run_cli(
+            ["shard", "--scheme", "DCQCN", "--shards", "2", "--json",
+             "--load", "0.3", "--incast", "0"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["summary"]["scheme"] == "DCQCN"
+        stats = payload["shard_stats"]
+        assert stats["num_shards"] == 2
+        assert stats["barriers"] > 0
+        assert stats["window_ns"] == 1_000
+        assert len(stats["events_per_shard"]) == 2
+
+    def test_shard_text_output(self):
+        code, output = run_cli(
+            ["shard", "--scheme", "DCQCN", "--shards", "2",
+             "--load", "0.3", "--incast", "0"]
+        )
+        assert code == 0
+        assert "Partition:" in output
+        assert "window (lookahead)" in output
+        assert "barriers" in output
+
+    def test_shard_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "--strategy", "magic"])

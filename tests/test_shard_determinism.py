@@ -1,0 +1,154 @@
+"""Sharded == single-process determinism proof.
+
+The contract of :mod:`repro.shard` is that running ONE experiment across
+several OS processes is *measurement-invisible*: every canonical record a
+single-process run produces — flow completions and slowdowns, switch
+counters, buffer/queue samples in their exact order, pause fractions,
+utilization, VFID statistics — is byte-for-byte identical when the same
+config runs sharded.  Only ``events_processed`` legitimately differs (each
+boundary crossing is two engine events instead of one, and every shard runs
+its own sampling tick).
+
+The scenario is the golden-records fig5a slice (see ``tests/golden_kernel``),
+covering the three most distinct kernels: BFC (VFID tables, Bloom pauses),
+DCQCN (ECN + per-switch RNG draws) and HPCC (INT stamping), so the proof
+spans control packets, RNG state and telemetry crossing shard boundaries.
+
+These tests also pin the coordinator's sampling replica
+(:class:`repro.shard.coordinator._ShardSampler`) to the runner's
+``_schedule_sampling`` loop: a change to either that breaks the interleaving
+shows up here as a byte diff.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign import Campaign, ParallelExecutor, SerialExecutor
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import fig9_configs
+from repro.sim import units
+
+from tests.golden_kernel import GOLDEN_SCHEMES, canonical_records, golden_configs
+
+
+def shard_canonical(result):
+    """Canonical records comparable between sharded and serial runs.
+
+    Identical to the golden reduction except for ``events_processed``: a
+    sharded run fires one capture event per boundary crossing plus one
+    sampling tick per shard, so the raw engine event count is the one
+    quantity that is *expected* to differ.
+    """
+    records = canonical_records(result)
+    records.pop("events_processed")
+    # Round-trip through JSON so float formatting matches exactly.
+    return json.loads(json.dumps(records, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    return {
+        scheme: shard_canonical(run_experiment(config))
+        for scheme, config in golden_configs().items()
+    }
+
+
+class TestShardedEqualsSerial:
+    @pytest.mark.parametrize("scheme", GOLDEN_SCHEMES)
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_byte_identical_records(self, serial_records, scheme, shards):
+        config = replace(golden_configs()[scheme], shards=shards)
+        sharded = shard_canonical(run_experiment(config))
+        serial = serial_records[scheme]
+        for key in serial:
+            assert sharded[key] == serial[key], (
+                f"{scheme} shards={shards}: {key} diverged from the "
+                "single-process run"
+            )
+        assert sharded == serial
+
+    def test_sharded_run_is_deterministic_run_to_run(self):
+        config = replace(golden_configs()["BFC"], shards=2)
+        first = shard_canonical(run_experiment(config))
+        second = shard_canonical(run_experiment(config))
+        assert first == second
+
+    def test_shard_stats_reported(self):
+        config = replace(golden_configs()["BFC"], shards=2)
+        result = run_experiment(config)
+        stats = result.shard_stats
+        assert stats is not None
+        assert stats["num_shards"] == 2
+        assert stats["cut_links"] > 0
+        assert stats["window_ns"] == config.clos.link_delay_ns
+        assert stats["barriers"] > 0
+        assert stats["boundary_packets"] > 0
+        assert sum(int(v) for v in stats["events_per_shard"].values()) == (
+            result.events_processed
+        )
+
+
+class TestSingleShardDegradesToPlainRunner:
+    def test_shards_1_is_byte_identical_including_event_count(self):
+        config = golden_configs()["DCQCN"]
+        plain = run_experiment(config)
+        one_shard = run_experiment(replace(config, shards=1))
+        a = json.loads(json.dumps(canonical_records(plain), sort_keys=True))
+        b = json.loads(json.dumps(canonical_records(one_shard), sort_keys=True))
+        assert a == b  # includes events_processed: same engine, same schedule
+        assert one_shard.shard_stats is None
+
+
+class TestCrossDcSharding:
+    """Per-DC sharding: the inter-DC link is the (large) lookahead window."""
+
+    @pytest.fixture(scope="class")
+    def fig9_config(self):
+        config = fig9_configs("tiny", schemes=("BFC",), seed=3)["BFC"]
+        return replace(
+            config,
+            duration_ns=units.microseconds(150),
+            drain_ns=units.microseconds(75),
+        )
+
+    def test_two_dc_shards_byte_identical(self, fig9_config):
+        serial = shard_canonical(run_experiment(fig9_config))
+        sharded_result = run_experiment(replace(fig9_config, shards=2))
+        assert shard_canonical(sharded_result) == serial
+        stats = sharded_result.shard_stats
+        assert stats["strategy"] == "dc"
+        assert stats["cut_links_by_class"] == {"inter-dc": 1}
+        # Lookahead equals the cross-DC propagation delay.
+        assert stats["window_ns"] == fig9_config.cross_dc.gateway_delay_ns
+
+    def test_pod_sharding_across_dcs_byte_identical(self, fig9_config):
+        serial = shard_canonical(run_experiment(fig9_config))
+        sharded = run_experiment(
+            replace(fig9_config, shards=4, shard_strategy="pod")
+        )
+        assert shard_canonical(sharded) == serial
+
+
+class TestCampaignComposition:
+    """Sharded trials ride through Serial/Parallel executors unchanged."""
+
+    def test_parallel_executor_runs_sharded_trials(self):
+        configs = {
+            scheme: replace(config, shards=2)
+            for scheme, config in golden_configs().items()
+            if scheme in ("BFC", "DCQCN")
+        }
+        serial = Campaign.from_configs("shard-camp", configs).run(
+            executor=SerialExecutor()
+        )
+        parallel = Campaign.from_configs("shard-camp", configs).run(
+            executor=ParallelExecutor(workers=2)
+        )
+        assert serial == parallel
+        for scheme in configs:
+            label = f"shard-camp/{scheme}"
+            a = shard_canonical(serial.experiment_result(label))
+            b = shard_canonical(parallel.experiment_result(label))
+            assert a == b, f"{scheme}: serial vs parallel sharded records diverged"

@@ -1,0 +1,157 @@
+"""Unit tests for the topology partitioner (:mod:`repro.shard.partition`)."""
+
+import pytest
+
+from repro.experiments.runner import build_simulation
+from repro.experiments.scenarios import fig5a_configs, fig9_configs
+from repro.shard.partition import (
+    PartitionError,
+    PartitionSpec,
+    partition_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def leaf_spine_topo():
+    config = fig5a_configs("tiny", schemes=["DCQCN"], seed=1)["DCQCN"]
+    _, _, topo, _ = build_simulation(config)
+    return topo
+
+
+@pytest.fixture(scope="module")
+def cross_dc_topo():
+    config = fig9_configs("tiny", schemes=("DCQCN",), seed=1)["DCQCN"]
+    _, _, topo, _ = build_simulation(config)
+    return topo
+
+
+def shard_of_host(topo, spec, host_id):
+    return spec.shard_of[topo.hosts[host_id].name]
+
+
+class TestLeafSpinePartition:
+    def test_single_shard_has_no_cuts(self, leaf_spine_topo):
+        spec = partition_topology(leaf_spine_topo, 1)
+        assert spec.cuts == []
+        assert spec.window_ns is None
+        assert set(spec.shard_of.values()) == {0}
+
+    def test_hosts_stay_with_their_tor(self, leaf_spine_topo):
+        for shards in (2, 3, 4):
+            spec = partition_topology(leaf_spine_topo, shards)
+            for host_id, tor_name in leaf_spine_topo.tor_of_host.items():
+                assert shard_of_host(leaf_spine_topo, spec, host_id) == (
+                    spec.shard_of[tor_name]
+                )
+
+    def test_two_shards_cut_only_tor_spine_links(self, leaf_spine_topo):
+        spec = partition_topology(leaf_spine_topo, 2)
+        assert spec.cuts, "a 2-shard split of a 2-pod fabric must cut links"
+        assert {cut.link_class for cut in spec.cuts} == {"tor-spine"}
+        assert spec.window_ns == leaf_spine_topo.link_delay_ns
+
+    def test_more_shards_than_pods_gives_spines_their_own_shard(
+        self, leaf_spine_topo
+    ):
+        # 2 pods + 4 requested shards: pods take shards 0/1, the whole spine
+        # tier shares one spare shard (chain-of-custody: two packets racing
+        # into the same queue must cross the same shard transitions).
+        spec = partition_topology(leaf_spine_topo, 4)
+        spine_shards = {
+            spec.shard_of[s.name] for s in leaf_spine_topo.switches_in_tier("spine")
+        }
+        assert len(spine_shards) == 1
+        assert spine_shards.isdisjoint(
+            spec.shard_of[t.name] for t in leaf_spine_topo.switches_in_tier("tor")
+        )
+
+    def test_greedy_strategy_balances_pods(self, leaf_spine_topo):
+        spec = partition_topology(leaf_spine_topo, 2, "greedy")
+        hosts_per_shard = {}
+        for host in leaf_spine_topo.hosts.values():
+            shard = spec.shard_of[host.name]
+            hosts_per_shard[shard] = hosts_per_shard.get(shard, 0) + 1
+        assert set(hosts_per_shard) == {0, 1}
+        assert abs(hosts_per_shard[0] - hosts_per_shard[1]) <= 4  # one pod
+
+    def test_partition_is_deterministic(self, leaf_spine_topo):
+        a = partition_topology(leaf_spine_topo, 3)
+        b = partition_topology(leaf_spine_topo, 3)
+        assert a.shard_of == b.shard_of
+        assert a.cuts == b.cuts
+
+    def test_stats_shape(self, leaf_spine_topo):
+        spec = partition_topology(leaf_spine_topo, 2)
+        stats = spec.stats(leaf_spine_topo)
+        assert stats["num_shards"] == 2
+        assert stats["cut_links"] == len(spec.cuts)
+        assert stats["window_ns"] == spec.window_ns
+        total_hosts = sum(entry["hosts"] for entry in stats["shards"].values())
+        assert total_hosts == len(leaf_spine_topo.hosts)
+
+    def test_invalid_arguments(self, leaf_spine_topo):
+        with pytest.raises(PartitionError):
+            partition_topology(leaf_spine_topo, 0)
+        with pytest.raises(PartitionError):
+            partition_topology(leaf_spine_topo, 2, "nonsense")
+        with pytest.raises(PartitionError):
+            # 'dc' needs a multi-DC topology.
+            partition_topology(leaf_spine_topo, 2, "dc")
+
+
+class TestCrossDcPartition:
+    """The DC boundary must always be a cut; its delay is the lookahead."""
+
+    @pytest.mark.parametrize("strategy", ["auto", "dc"])
+    def test_dc_strategy_cuts_only_the_gateway_link(self, cross_dc_topo, strategy):
+        spec = partition_topology(cross_dc_topo, 2, strategy)
+        assert spec.strategy == "dc"
+        assert [cut.link_class for cut in spec.cuts] == ["inter-dc"]
+        assert {cut.a for cut in spec.cuts} | {cut.b for cut in spec.cuts} == {
+            "gw0",
+            "gw1",
+        }
+
+    def test_dc_lookahead_equals_cross_dc_delay(self, cross_dc_topo):
+        spec = partition_topology(cross_dc_topo, 2, "dc")
+        (cut,) = spec.cuts
+        assert spec.window_ns == cut.delay_ns
+        gateway_link = next(
+            link for link in cross_dc_topo.links if link.link_class == "inter-dc"
+        )
+        assert spec.window_ns == gateway_link.delay_ns
+
+    @pytest.mark.parametrize("strategy,shards", [
+        ("auto", 2),
+        ("dc", 2),
+        ("pod", 2),
+        ("pod", 4),
+        ("pod", 6),
+    ])
+    def test_dc_boundary_is_always_a_cut(self, cross_dc_topo, strategy, shards):
+        spec = partition_topology(cross_dc_topo, shards, strategy)
+        dc_shards = {0: set(), 1: set()}
+        for host_id, host in cross_dc_topo.hosts.items():
+            dc = cross_dc_topo.dc_of_host[host_id]
+            dc_shards[dc].add(spec.shard_of[host.name])
+        assert dc_shards[0].isdisjoint(dc_shards[1]), (
+            f"{strategy}/{shards}: hosts of different DCs share a shard"
+        )
+        assert any(cut.link_class == "inter-dc" for cut in spec.cuts)
+
+    def test_gateways_stay_with_their_dc(self, cross_dc_topo):
+        spec = partition_topology(cross_dc_topo, 2, "dc")
+        assert spec.shard_of["gw0"] == spec.shard_of["dc0-tor0"]
+        assert spec.shard_of["gw1"] == spec.shard_of["dc1-tor0"]
+
+    def test_pod_strategy_with_fewer_shards_than_dcs_groups_dcs(self, cross_dc_topo):
+        spec = partition_topology(cross_dc_topo, 2, "pod")
+        # 2 DCs / 2 shards: every DC becomes one shard even under 'pod'.
+        assert len(spec.nonempty_shards()) == 2
+
+
+class TestPartitionSpecHelpers:
+    def test_window_none_without_cuts(self):
+        spec = PartitionSpec(1, "pod", {"a": 0}, [])
+        assert spec.window_ns is None
+        assert spec.nonempty_shards() == [0]
