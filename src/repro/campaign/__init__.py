@@ -19,6 +19,18 @@ from .executors import (
     make_executor,
 )
 from .results import CampaignError, ResultSet, TrialRecord, summarize_result
+from .scheduling import (
+    CORES_ENV,
+    CostCache,
+    ExecutionPlan,
+    PlannedTrial,
+    ScheduledExecutor,
+    detect_cores,
+    estimate_cost,
+    plan_trials,
+    resolve_cores,
+    trial_slots,
+)
 
 __all__ = [
     "Campaign",
@@ -27,11 +39,21 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ScheduledExecutor",
     "WORKERS_ENV",
+    "CORES_ENV",
     "default_workers",
+    "detect_cores",
+    "resolve_cores",
     "execute_trial",
     "execute_trial_record_only",
     "make_executor",
+    "CostCache",
+    "ExecutionPlan",
+    "PlannedTrial",
+    "plan_trials",
+    "estimate_cost",
+    "trial_slots",
     "ResultSet",
     "TrialRecord",
     "summarize_result",

@@ -155,8 +155,16 @@ class Campaign:
     """Fluent builder for a grid of experiments.
 
     Every builder method returns ``self`` so grids read as one expression.
-    The grid is expanded lazily by :meth:`trials`; :meth:`run` executes it
-    through a pluggable executor and returns a :class:`ResultSet`.
+    The grid is expanded lazily by :meth:`trials`; :meth:`run` executes it —
+    serially, across a trial-counting process pool (``workers=N``), or
+    through the resource-aware scheduler (``cores=N`` / ``"auto"``, which
+    charges a ``shards=N`` trial N CPU slots) — and returns a
+    :class:`ResultSet`.  :meth:`plan` previews the scheduled execution
+    without running anything.
+
+    All execution paths produce bit-identical records; see
+    ``docs/campaigns.md`` for the user guide and ``docs/determinism.md``
+    for the underlying contracts.
     """
 
     def __init__(self, name: str, scale: str = "tiny", workload: str = "google"):
@@ -461,36 +469,18 @@ class Campaign:
 
     # -- execution -----------------------------------------------------------
 
-    def run(
-        self,
-        executor: Optional[Executor] = None,
-        workers: Optional[int] = None,
-        save: Optional[object] = None,
-        resume: Optional[object] = None,
-        keep_results: bool = True,
-    ) -> ResultSet:
-        """Execute the campaign and return its :class:`ResultSet`.
+    def _split_resume(self, trials: List[Trial], resume: Optional[object]):
+        """Partition trials against a resume file: (done, stale, pending).
 
-        ``executor`` wins over ``workers``; with neither, ``REPRO_BENCH_WORKERS``
-        decides (defaulting to serial).  ``resume`` names a JSONL file from a
-        previous (possibly interrupted) run: trials already recorded there are
-        skipped.  ``save`` writes the merged result set back out (``resume``
-        doubles as ``save`` when only ``resume`` is given).
-
-        ``keep_results=False`` drops the full per-trial
-        :class:`ExperimentResult` objects (and keeps them out of the
-        process-pool pipe): the returned set carries tidy records only, which
-        is all that record/JSONL consumers need and much lighter for large
-        sweeps.
+        A recorded trial only counts as done under the same seed and
+        parameters: trial names encode only the swept axes, so resuming
+        after changing the seed or a fixed knob (workload, incast, ...)
+        must re-run, not replay stale records that share the name.
         """
-        trials = self.trials()
         loaded = ResultSet(campaign=self.name)
         if resume is not None and Path(resume).exists():
             loaded = ResultSet.load(resume)
-        # A recorded trial only counts as done under the same seed and
-        # parameters: trial names encode only the swept axes, so resuming
-        # after changing the seed or a fixed knob (workload, incast, ...)
-        # must re-run, not replay stale records that share the name.
+
         def identity(name, seed, params):
             return (name, seed, json.dumps(params, sort_keys=True, default=str))
 
@@ -510,9 +500,83 @@ class Campaign:
         pending = [
             t for t in trials if identity(t.name, t.seed, t.params) not in done_keys
         ]
+        return done, stale, pending
 
-        chosen = make_executor(executor, workers, records_only=not keep_results)
+    def plan(
+        self,
+        cores: object = "auto",
+        save: Optional[object] = None,
+        resume: Optional[object] = None,
+    ):
+        """Preview the resource-aware execution plan without running anything.
+
+        Expands the campaign, drops trials already recorded in ``resume``
+        (exactly as :meth:`run` would) and packs the remainder onto ``cores``
+        CPU slots — a sharded trial counts as ``shards`` slots.  Pass the
+        same ``save``/``resume`` paths as the run you are previewing: the
+        measured-cost cache lives next to that file (``resume`` doubles as
+        ``save``, as in :meth:`run`), so the preview packs with the same
+        costs the run will.  Returns an
+        :class:`~repro.campaign.scheduling.ExecutionPlan`; its
+        :meth:`~repro.campaign.scheduling.ExecutionPlan.describe` is what the
+        CLI prints for ``--dry-run``.
+        """
+        from .scheduling import CostCache, plan_trials
+
+        _, _, pending = self._split_resume(self.trials(), resume)
         target = save if save is not None else resume
+        cache = CostCache.for_results_file(target) if target is not None else None
+        return plan_trials(pending, cores, cache)
+
+    def run(
+        self,
+        executor: Optional[Executor] = None,
+        workers: Optional[int] = None,
+        cores: Optional[object] = None,
+        save: Optional[object] = None,
+        resume: Optional[object] = None,
+        keep_results: bool = True,
+    ) -> ResultSet:
+        """Execute the campaign and return its :class:`ResultSet`.
+
+        Exactly one way of choosing parallelism applies: an explicit
+        ``executor`` wins; ``cores`` (an int or ``"auto"``) selects
+        resource-aware scheduling, where a trial with ``shards=N`` occupies
+        ``N`` of the budget's CPU slots (see
+        :mod:`repro.campaign.scheduling`); ``workers`` keeps the historical
+        trial-counting process pool.  With none of the three,
+        ``REPRO_BENCH_WORKERS`` decides (defaulting to serial).  All paths
+        produce bit-identical records — only wall-clock time differs.
+
+        ``resume`` names a JSONL file from a previous (possibly interrupted)
+        run: trials already recorded there are skipped.  ``save`` writes the
+        merged result set back out (``resume`` doubles as ``save`` when only
+        ``resume`` is given).  Under ``cores``, a measured-cost cache
+        (``<save>.costs.json`` next to the JSONL) is maintained so later
+        runs pack trials by their real wall-clock cost.
+
+        ``keep_results=False`` drops the full per-trial
+        :class:`ExperimentResult` objects (and keeps them out of the
+        process-pool pipe): the returned set carries tidy records only, which
+        is all that record/JSONL consumers need and much lighter for large
+        sweeps.
+        """
+        trials = self.trials()
+        done, stale, pending = self._split_resume(trials, resume)
+        target = save if save is not None else resume
+
+        cost_cache = None
+        if cores is not None and target is not None:
+            from .scheduling import CostCache
+
+            cost_cache = CostCache.for_results_file(target)
+        chosen = make_executor(
+            executor,
+            workers,
+            records_only=not keep_results,
+            cores=cores,
+            cost_cache=cost_cache,
+        )
 
         def persist(result_set: ResultSet) -> None:
             if target is None:
@@ -532,23 +596,28 @@ class Campaign:
         if target is None:
             outcome_pairs = chosen.run(pending)
         else:
-            # With a file to write, run in waves sized to the executor's
-            # parallelism and persist after each, so an interrupted campaign
-            # leaves a resumable file instead of losing every finished trial.
-            # Deliberate trade-off: the per-wave barrier (and pool re-spawn)
+            # With a file to write, run in batches — a pool's worth of trials
+            # for the plain executors, one plan wave for the scheduled one —
+            # and persist after each, so an interrupted campaign leaves a
+            # resumable file instead of losing every finished trial.
+            # Deliberate trade-off: the per-batch barrier (and pool re-spawn)
             # costs milliseconds against multi-second simulation trials, and
             # per-trial persistence in the serial case IS the durability
             # feature; revisit with as_completed + appends if trials ever
             # become sub-second at scale.
-            wave = max(1, chosen.workers)
             outcome_pairs = []
-            for start in range(0, len(pending), wave):
-                outcome_pairs.extend(chosen.run(pending[start : start + wave]))
+            for batch in chosen.batches(pending):
+                outcome_pairs.extend(chosen.run(batch))
                 persist(
                     done.merge(
                         ResultSet([rec for rec, _ in outcome_pairs], campaign=self.name)
                     )
                 )
+            # A planning executor may have run the batches out of trial
+            # order; restore it so the persisted record order (and the
+            # returned set) is identical to a serial run's.
+            order = {t.name: i for i, t in enumerate(pending)}
+            outcome_pairs.sort(key=lambda pair: order[pair[0].name])
 
         fresh = ResultSet(
             [record for record, _ in outcome_pairs],
@@ -561,9 +630,8 @@ class Campaign:
         )
         merged = done.merge(fresh)
         merged.campaign = self.name
-        if not pending:
-            # The wave loop never ran (pure replay, or nothing to do); the
-            # file still needs the pruned/merged state.  With pending trials
-            # the last wave already wrote exactly this content.
-            persist(merged)
+        # Always rewrite at the end: after a pure replay the file still needs
+        # the pruned/merged state, and after batched execution this restores
+        # the canonical (trial-order) record order on disk.
+        persist(merged)
         return merged

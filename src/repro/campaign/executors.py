@@ -6,6 +6,11 @@ seed), so a campaign is embarrassingly parallel.  ``ParallelExecutor`` fans
 trials out over a :class:`concurrent.futures.ProcessPoolExecutor`; because
 every trial is deterministic in its config and seed, the parallel path
 produces records bit-identical to ``SerialExecutor``, just faster.
+
+``ParallelExecutor`` counts *trials*; for campaigns whose trials differ in
+resource footprint (sharded trials occupy ``shards`` processes each), the
+resource-aware :class:`~repro.campaign.scheduling.ScheduledExecutor`
+(``Campaign.run(cores=...)``) packs trials onto a CPU-slot budget instead.
 """
 
 from __future__ import annotations
@@ -52,12 +57,20 @@ def default_workers() -> int:
     return _env_workers() or 1
 
 
-def execute_trial(trial: "Trial") -> Tuple[TrialRecord, "ExperimentResult"]:
-    """Run one trial and summarize it (module-level so process pools can pickle it)."""
+def execute_trial(
+    trial: "Trial", slot_budget: Optional[int] = None
+) -> Tuple[TrialRecord, "ExperimentResult"]:
+    """Run one trial and summarize it (module-level so process pools can pickle it).
+
+    ``slot_budget`` is the number of CPU slots the scheduling layer reserved
+    for this trial (see :mod:`repro.campaign.scheduling`); it is forwarded to
+    :func:`~repro.experiments.runner.run_experiment`, where a sharded run's
+    coordinator records it.  It never changes what is simulated.
+    """
     from repro.experiments.runner import run_experiment
 
     started = time.monotonic()
-    result = run_experiment(trial.config)
+    result = run_experiment(trial.config, slot_budget=slot_budget)
     record = TrialRecord(
         name=trial.name,
         label=trial.label,
@@ -71,15 +84,31 @@ def execute_trial(trial: "Trial") -> Tuple[TrialRecord, "ExperimentResult"]:
     return record, result
 
 
-def execute_trial_record_only(trial: "Trial") -> Tuple[TrialRecord, None]:
+def execute_trial_record_only(
+    trial: "Trial", slot_budget: Optional[int] = None
+) -> Tuple[TrialRecord, None]:
     """Like :func:`execute_trial` but drop the full result inside the worker.
 
     The complete :class:`ExperimentResult` (per-flow records, sampler arrays)
     can dwarf the tidy record; for record-only consumers this keeps it out of
     the process-pool pipe and out of resident memory.
     """
-    record, _ = execute_trial(trial)
+    record, _ = execute_trial(trial, slot_budget=slot_budget)
     return record, None
+
+
+def _run_pool(fn, items: Sequence[object], workers: int) -> List[object]:
+    """Map ``fn`` over ``items`` across a fork-preferred process pool.
+
+    Shared by :class:`ParallelExecutor` and the scheduling layer's
+    :class:`~repro.campaign.scheduling.ScheduledExecutor`.  ``map()``
+    preserves input order, so the result list lines up item for item.
+    """
+    mp_context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        mp_context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
+        return list(pool.map(fn, items))
 
 
 class Executor:
@@ -90,11 +119,12 @@ class Executor:
     each trial, its record and full experiment result (``None`` with
     ``records_only``, which skips materializing the result past the worker).
 
-    ``workers`` is part of the contract: ``Campaign.run`` sizes its
-    incremental-persistence waves to it, so an executor that parallelizes
-    internally should set it to its degree of parallelism (the default of 1
-    feeds such an executor one trial at a time whenever a save/resume file
-    is in play).
+    ``Campaign.run`` persists between the chunks :meth:`batches` returns, so
+    an executor that parallelizes internally should either set ``workers``
+    to its degree of parallelism (the default batching is chunks of
+    ``workers`` trials) or override :meth:`batches` outright, as the
+    scheduling layer's :class:`~repro.campaign.scheduling.ScheduledExecutor`
+    does with its plan waves.
     """
 
     records_only: bool = False
@@ -102,6 +132,18 @@ class Executor:
 
     def _trial_fn(self):
         return execute_trial_record_only if self.records_only else execute_trial
+
+    def batches(self, trials: Sequence["Trial"]) -> List[List["Trial"]]:
+        """Split trials into the chunks ``Campaign.run`` persists between.
+
+        The default is consecutive chunks of ``workers`` trials — one pool's
+        worth of work per chunk.  Executors that plan their own concurrency
+        structure (:class:`~repro.campaign.scheduling.ScheduledExecutor`)
+        override this so the persistence boundary falls on their wave
+        barriers instead.
+        """
+        wave = max(1, self.workers)
+        return [list(trials[start : start + wave]) for start in range(0, len(trials), wave)]
 
     def run(
         self, trials: Sequence["Trial"]
@@ -155,13 +197,9 @@ class ParallelExecutor(Executor):
         effective = min(self.workers, len(trials))
         if effective <= 1:
             return SerialExecutor(records_only=self.records_only).run(trials)
-        mp_context = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            mp_context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=effective, mp_context=mp_context) as pool:
-            # map() preserves input order, so the parallel result list lines
-            # up with the serial one trial for trial.
-            return list(pool.map(self._trial_fn(), trials))
+        # _run_pool's map() preserves input order, so the parallel result
+        # list lines up with the serial one trial for trial.
+        return _run_pool(self._trial_fn(), list(trials), effective)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor(workers={self.workers})"
@@ -171,14 +209,35 @@ def make_executor(
     executor: Optional[Executor] = None,
     workers: Optional[int] = None,
     records_only: bool = False,
+    cores=None,
+    cost_cache=None,
 ) -> Executor:
-    """Resolve the executor for ``Campaign.run(executor=..., workers=...)``."""
+    """Resolve the executor for ``Campaign.run(executor=..., workers=..., cores=...)``.
+
+    ``executor`` wins over both count arguments.  ``cores`` (an int or
+    ``"auto"``) selects the resource-aware
+    :class:`~repro.campaign.scheduling.ScheduledExecutor`, which treats a
+    sharded trial as ``shards`` slots; ``workers`` keeps the historical
+    trial-counting :class:`ParallelExecutor`.  Passing both is ambiguous and
+    rejected.
+    """
+    if executor is not None and cores is not None:
+        raise CampaignError("pass executor=... or cores=..., not both")
+    if workers is not None and cores is not None:
+        raise CampaignError(
+            "pass workers=... (trial-counting pool) or cores=... "
+            "(shard-aware scheduling), not both"
+        )
     if executor is not None:
         if records_only and not executor.records_only:
             # Honor keep_results=False without mutating the caller's executor.
             executor = copy.copy(executor)
             executor.records_only = True
         return executor
+    if cores is not None:
+        from .scheduling import ScheduledExecutor
+
+        return ScheduledExecutor(cores, records_only=records_only, cost_cache=cost_cache)
     if workers is None:
         workers = default_workers()
     elif workers < 1:

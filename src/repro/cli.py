@@ -13,10 +13,13 @@ common workflows need no Python code:
     Run a single experiment (the Fig. 5a workload by default) and print a
     summary; ``--json`` emits machine-readable output.
 
-``repro campaign --schemes BFC DCQCN --load 0.6 0.8 --repeats 2 --workers 4``
+``repro campaign --schemes BFC DCQCN --load 0.6 0.8 --repeats 2 --cores auto``
     Expand a {scheme x load x repeats} grid, run it (optionally across
     processes), print aggregated tables and optionally persist the per-trial
     records as JSONL (``--save``/``--resume``).  Also available as ``sweep``.
+    ``--cores`` enables shard-aware scheduling (a trial with ``shards=N``
+    occupies N CPU slots); ``--dry-run`` prints the execution plan without
+    simulating anything.  ``--workers`` keeps the plain trial-counting pool.
 
 ``repro figure fig5a --scale tiny --schemes BFC DCQCN``
     Run one of the paper's figures and print the reproduced table.
@@ -69,6 +72,21 @@ FIGURE_FACTORIES = {
 }
 
 
+def _cores_arg(value: str):
+    """``--cores`` accepts a positive integer or the word ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        cores = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if cores < 1:
+        raise argparse.ArgumentTypeError(f"cores must be >= 1, got {cores}")
+    return cores
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -110,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=1, help="base seed")
     campaign.add_argument("--workers", type=int, default=1,
                           help="process-pool size; >1 runs trials in parallel")
+    campaign.add_argument("--cores", type=_cores_arg, default=None, metavar="N|auto",
+                          help="CPU-slot budget for shard-aware scheduling "
+                               "(a trial with shards=N counts as N slots); "
+                               "'auto' detects the machine's cores")
+    campaign.add_argument("--dry-run", action="store_true",
+                          help="print the execution plan and exit without running (requires --cores)")
     campaign.add_argument("--save", default=None, metavar="PATH",
                           help="write per-trial records to this JSONL file")
     campaign.add_argument("--resume", default=None, metavar="PATH",
@@ -124,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--seed", type=int, default=1)
     figure.add_argument("--workers", type=int, default=1,
                         help="process-pool size; >1 runs the figure's configs in parallel")
+    figure.add_argument("--cores", type=_cores_arg, default=None, metavar="N|auto",
+                        help="CPU-slot budget for shard-aware scheduling")
+    figure.add_argument("--dry-run", action="store_true",
+                        help="print the execution plan and exit without running (requires --cores)")
     figure.add_argument("--json", action="store_true")
 
     shard = sub.add_parser(
@@ -269,18 +297,37 @@ def cmd_campaign(args: argparse.Namespace, out) -> int:
         campaign.sweep(incast=args.incast)
     else:
         campaign.fixed(incast=args.incast[0])
+    if args.cores is not None and args.workers != 1:
+        raise CampaignError("pass --workers or --cores, not both")
+    if args.dry_run:
+        if args.cores is None:
+            # A plan preview describes scheduled execution; previewing one
+            # while the real run would use the --workers pool would be a lie.
+            raise CampaignError("--dry-run previews scheduled execution; pass --cores N|auto")
+        plan = campaign.plan(cores=args.cores, save=args.save, resume=args.resume)
+        if args.json:
+            json.dump(plan.to_dict(), out, indent=2)
+            print(file=out)
+        else:
+            print(f"Campaign {args.name!r} {plan.describe()}", file=out)
+        return 0
     result_set = campaign.run(
-        workers=args.workers, save=args.save, resume=args.resume,
+        workers=None if args.cores is not None else args.workers,
+        cores=args.cores,
+        save=args.save, resume=args.resume,
         keep_results=False,  # tables below only need the tidy records
     )
     if args.json:
         json.dump([record.to_dict() for record in result_set], out, indent=2)
         print(file=out)
         return 0
+    parallelism = (
+        f"cores={args.cores}" if args.cores is not None else f"workers={args.workers}"
+    )
     print(
         f"Campaign {args.name!r}: {len(result_set)} trials "
         f"({len(args.schemes)} schemes, loads {args.load}, "
-        f"{args.repeats} repeat(s), workers={args.workers})",
+        f"{args.repeats} repeat(s), {parallelism})",
         file=out,
     )
     for record in result_set:
@@ -328,7 +375,22 @@ def cmd_figure(args: argparse.Namespace, out) -> int:
             configs = factory(args.scale, **kwargs)
     else:
         configs = factory(args.scale, **kwargs)
-    result_set = Campaign.from_configs(args.name, configs).run(workers=args.workers)
+    campaign = Campaign.from_configs(args.name, configs)
+    if args.cores is not None and args.workers != 1:
+        raise CampaignError("pass --workers or --cores, not both")
+    if args.dry_run:
+        if args.cores is None:
+            raise CampaignError("--dry-run previews scheduled execution; pass --cores N|auto")
+        plan = campaign.plan(cores=args.cores)
+        if args.json:
+            json.dump(plan.to_dict(), out, indent=2)
+            print(file=out)
+        else:
+            print(f"Figure {args.name!r} {plan.describe()}", file=out)
+        return 0
+    result_set = campaign.run(
+        workers=None if args.cores is not None else args.workers, cores=args.cores
+    )
     results = result_set.experiment_results_by_label()
     if args.json:
         json.dump({label: _result_summary(r) for label, r in results.items()}, out, indent=2)

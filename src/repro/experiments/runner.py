@@ -104,7 +104,35 @@ class TrafficSpec:
 
 @dataclass
 class ExperimentConfig:
-    """One simulation run: topology + scheme + traffic + measurement knobs."""
+    """One simulation run: topology + scheme + traffic + measurement knobs.
+
+    The config (plus ``seed``) fully determines the simulation: the same
+    config always produces the same :class:`ExperimentResult`, which is what
+    makes campaign resume, parallel execution and sharding
+    measurement-invisible (see ``docs/determinism.md``).
+
+    Field groups:
+
+    * **Identity** — ``name`` (labels records and result maps), ``scheme``
+      (a registered scheme name, see ``repro.experiments.schemes``),
+      ``seed`` (drives every RNG: trace generation and component state).
+    * **Topology** — ``clos`` sizes the leaf-spine fabric; ``cross_dc``
+      (when set) builds two such fabrics joined by gateways, with
+      ``gateway_buffer_bytes`` overriding the gateways' shared buffer.
+    * **Traffic** — ``traffic`` (workload + incast + explicit flows),
+      ``duration_ns`` of offered traffic, plus ``drain_ns`` of drain time
+      (defaults to ``duration_ns // 2``); ``mtu`` applies fabric-wide.
+    * **Scheme knobs** — ``buffer_bytes`` (shared switch buffer),
+      ``pfc_enabled``, and the per-scheme ``bfc_config`` / ``dcqcn_config``
+      / ``hpcc_config`` overrides (``None`` = scheme defaults).
+    * **Measurement** — ``sample_interval_ns`` (``None`` = ~200 samples per
+      run), ``max_events`` as a safety cap (rejected under sharding).
+    * **Execution** — ``shards``/``shard_strategy``: ``shards > 1`` runs
+      this one experiment space-parallel across OS processes with records
+      identical to the single-process run.  In a campaign, prefer
+      ``Campaign.run(cores=...)`` so sharded trials are scheduled onto the
+      machine instead of oversubscribing it (``docs/campaigns.md``).
+    """
 
     name: str
     scheme: str
@@ -405,17 +433,29 @@ def build_topology_only(config: ExperimentConfig) -> Topology:
     return _build_topology(config, env)
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig, slot_budget: Optional[int] = None
+) -> ExperimentResult:
     """Run one experiment end to end and return its measurements.
 
     With ``config.shards > 1`` the run is delegated to the sharded runtime,
     which executes the same topology across several OS processes and merges
     the shard measurements back into one :class:`ExperimentResult`.
+
+    ``slot_budget`` is the CPU-slot reservation handed down by the campaign
+    scheduling layer (:mod:`repro.campaign.scheduling`): the number of
+    simulator processes this run may assume it owns.  It is purely
+    advisory — it never changes what is simulated or measured — but a
+    sharded run's coordinator records it (and whether the shard count
+    oversubscribes it) in ``ExperimentResult.shard_stats``, so plans and
+    reality can be audited against each other.
     """
+    if slot_budget is not None and slot_budget < 1:
+        raise ValueError(f"slot_budget must be >= 1, got {slot_budget}")
     if config.shards > 1:
         from repro.shard.coordinator import run_sharded_experiment
 
-        return run_sharded_experiment(config)
+        return run_sharded_experiment(config, slot_budget=slot_budget)
     started = time.monotonic()
     sim, env, topo, trace = build_simulation(config)
     topo.start_flows(trace)

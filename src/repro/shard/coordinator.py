@@ -267,10 +267,23 @@ def _harvest_shard(
 class ShardCoordinator:
     """Drives the shard workers through conservative epochs and merges results."""
 
-    def __init__(self, config, spec: PartitionSpec, shard_ids: List[int]) -> None:
+    def __init__(
+        self,
+        config,
+        spec: PartitionSpec,
+        shard_ids: List[int],
+        slot_budget: Optional[int] = None,
+    ) -> None:
         self.config = config
         self.spec = spec
         self.shard_ids = shard_ids
+        #: CPU slots the campaign scheduling layer reserved for this run
+        #: (None when launched outside a planned campaign).  The handshake is
+        #: advisory: every shard process must advance for the conservative
+        #: epochs to make progress, so the coordinator cannot run fewer
+        #: workers than shards — but it can *report* that it was given less
+        #: than it needs, and the planner's tests hold it to that report.
+        self.slot_budget = slot_budget
         self.barriers = 0
         self.boundary_packets = 0
         self._procs: Dict[int, multiprocessing.Process] = {}
@@ -408,8 +421,10 @@ class ShardCoordinator:
 # ---------------------------------------------------------------------------
 
 
-def _merge_results(config, topo, trace, spec, payloads, wall_started, barriers, boundary_packets):
+def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinator):
     """Fold the shard payloads into one single-process-shaped ExperimentResult."""
+    barriers = coordinator.barriers
+    boundary_packets = coordinator.boundary_packets
     from repro.experiments.runner import (
         ExperimentResult,
         _harvest_flow_records,
@@ -509,6 +524,9 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, barriers, 
 
     events_processed = sum(payload["events"] for payload in payloads)
     shard_stats = spec.stats(topo)
+    if coordinator.slot_budget is not None:
+        shard_stats["slot_budget"] = coordinator.slot_budget
+        shard_stats["oversubscribed"] = len(coordinator.shard_ids) > coordinator.slot_budget
     shard_stats.update(
         {
             "barriers": barriers,
@@ -547,12 +565,16 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, barriers, 
 # ---------------------------------------------------------------------------
 
 
-def run_sharded_experiment(config) -> "object":
+def run_sharded_experiment(config, slot_budget: Optional[int] = None) -> "object":
     """Run ``config`` across ``config.shards`` processes and merge the result.
 
     Falls back to the ordinary single-process runner when the partition
     degenerates (one populated shard or no cut links), so ``shards=N`` is
     always safe to request.
+
+    ``slot_budget`` is the campaign scheduler's CPU-slot reservation for this
+    run (see :func:`repro.experiments.runner.run_experiment`); it is recorded
+    in ``shard_stats`` and never changes the simulation.
     """
     from repro.experiments.runner import build_simulation, run_experiment
 
@@ -572,17 +594,13 @@ def run_sharded_experiment(config) -> "object":
         result = run_experiment(replace(config, shards=1))
         result.shard_stats = spec.stats(topo)
         result.shard_stats["degenerate"] = True
+        if slot_budget is not None:
+            result.shard_stats["slot_budget"] = slot_budget
+            # A degenerate partition runs single-process: one slot, which
+            # any validated budget (>= 1) covers.
+            result.shard_stats["oversubscribed"] = False
         return result
 
-    coordinator = ShardCoordinator(config, spec, shard_ids)
+    coordinator = ShardCoordinator(config, spec, shard_ids, slot_budget=slot_budget)
     payloads = coordinator.run()
-    return _merge_results(
-        config,
-        topo,
-        trace,
-        spec,
-        payloads,
-        started,
-        coordinator.barriers,
-        coordinator.boundary_packets,
-    )
+    return _merge_results(config, topo, trace, spec, payloads, started, coordinator)

@@ -65,7 +65,20 @@ class CutLink:
 
 @dataclass
 class PartitionSpec:
-    """The result of partitioning one topology."""
+    """The result of partitioning one topology into shards.
+
+    ``shard_of`` maps every node name (hosts and switches) to its shard
+    index; ``cuts`` lists the links whose endpoints landed in different
+    shards.  The smallest cut-link delay is the partition's conservative
+    synchronization window (:attr:`window_ns`): the coordinator may let all
+    shards advance that far past the globally earliest event without any
+    shard outrunning a packet another shard still owes it.
+
+    A spec is pure data — produced by :func:`partition_topology`, consumed
+    by the coordinator (epoch windows), the boundary layer (which links to
+    replace with channels), the CLI (``repro topology info``) and the
+    campaign scheduler's documentation of a trial's process footprint.
+    """
 
     num_shards: int
     strategy: str

@@ -133,6 +133,64 @@ class TestCampaignCommand:
 
         assert len(ResultSet.load(path)) == 1
 
+    def test_campaign_dry_run_prints_plan_and_runs_nothing(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        code, output = run_cli(
+            ["campaign", "--schemes", "BFC", "DCQCN", "--load", "0.6", "0.8",
+             "--cores", "2", "--dry-run", "--save", str(path)]
+        )
+        assert code == 0
+        assert "4 trial(s) on 2 core(s)" in output
+        assert "wave 1" in output
+        assert not path.exists()  # nothing simulated, nothing written
+
+    def test_campaign_cores_runs_and_reports_cores(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        code, output = run_cli(
+            ["campaign", "--schemes", "BFC", "--load", "0.3", "--incast", "0",
+             "--cores", "2", "--save", str(path)]
+        )
+        assert code == 0
+        assert "cores=2" in output
+        assert path.exists()
+        assert path.with_name("records.costs.json").exists()
+
+    def test_campaign_rejects_workers_plus_cores(self):
+        code, _ = run_cli(
+            ["campaign", "--schemes", "BFC", "--workers", "2", "--cores", "2",
+             "--dry-run"]
+        )
+        assert code == 2
+
+    def test_campaign_dry_run_json_is_machine_readable(self):
+        code, output = run_cli(
+            ["campaign", "--schemes", "BFC", "DCQCN", "--load", "0.6",
+             "--cores", "2", "--dry-run", "--json"]
+        )
+        assert code == 0
+        plan = json.loads(output)
+        assert plan["cores"] == 2
+        assert plan["num_trials"] == 2
+        assert plan["max_live_processes"] <= 2
+        assert [t["name"] for w in plan["waves"] for t in w["trials"]] == [
+            "campaign/BFC/load=0.6", "campaign/DCQCN/load=0.6",
+        ]
+
+    def test_dry_run_without_cores_is_a_clean_error(self, capsys):
+        # A plan preview describes scheduled execution; without --cores the
+        # real run would use the --workers pool, so previewing would mislead.
+        code, _ = run_cli(["campaign", "--schemes", "BFC", "--dry-run"])
+        assert code == 2
+        assert "--cores" in capsys.readouterr().err
+
+    def test_cores_flag_validates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--cores", "lots"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--cores", "0"])
+        args = build_parser().parse_args(["campaign", "--cores", "auto"])
+        assert args.cores == "auto"
+
 
 class TestCompareAndFigure:
     def test_compare_json(self):
@@ -166,6 +224,15 @@ class TestCompareAndFigure:
         assert code == 0
         payload = json.loads(output)
         assert len(payload) >= 3
+
+    def test_figure_dry_run_previews_plan(self):
+        code, output = run_cli(
+            ["figure", "fig5a", "--schemes", "BFC", "DCQCN", "--cores", "2",
+             "--dry-run"]
+        )
+        assert code == 0
+        assert "2 trial(s) on 2 core(s)" in output
+        assert "wave 1" in output
 
 
 class TestTopologyCommand:

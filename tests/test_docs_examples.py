@@ -1,0 +1,119 @@
+"""Docs cannot rot: lint links in docs/ and execute its fenced examples.
+
+Two enforcement layers, both cheap enough for the tier-1 suite and run by
+CI's dedicated ``docs-check`` job:
+
+* **Dead-link lint** — every relative markdown link in ``docs/*.md`` and
+  ``README.md`` must resolve to a file or directory in the repo (external
+  ``http(s)``/``mailto`` links and pure anchors are skipped).
+* **Executable examples** — every fenced code block tagged exactly
+  ``python`` in ``docs/*.md`` is executed, blocks of one file sharing a
+  namespace in file order (so a guide can build on its earlier snippets),
+  with the working directory pointed at a temp dir so examples may write
+  files with relative paths.  A block tagged ``python no-run`` is
+  highlighted but skipped — use it only for deliberately illustrative
+  fragments.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+DOC_FILES = sorted(DOCS_DIR.glob("*.md"))
+LINK_CHECKED_FILES = DOC_FILES + [REPO_ROOT / "README.md"]
+
+#: Inline markdown links: [text](target).  Good enough for these docs; image
+#: links and reference-style links would need more, and we don't use them.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def extract_links(path: Path):
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def extract_python_blocks(path: Path):
+    """``(first_code_lineno, source)`` for every block fenced as ``python``."""
+    blocks = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    collecting = False
+    start = 0
+    chunk = []
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not collecting and stripped.startswith("```"):
+            info = stripped[3:].strip()
+            if info == "python":
+                collecting = True
+                start = lineno + 1
+                chunk = []
+            continue
+        if collecting:
+            if stripped.startswith("```"):
+                blocks.append((start, "\n".join(chunk)))
+                collecting = False
+            else:
+                chunk.append(line)
+    assert not collecting, f"{path.name}: unterminated code fence starting at {start}"
+    return blocks
+
+
+def test_docs_directory_has_the_guides():
+    names = {path.name for path in DOC_FILES}
+    assert {
+        "architecture.md",
+        "determinism.md",
+        "benchmarking.md",
+        "campaigns.md",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "path", LINK_CHECKED_FILES, ids=[p.name for p in LINK_CHECKED_FILES]
+)
+def test_relative_links_resolve(path):
+    dead = []
+    for lineno, target in extract_links(path):
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            dead.append(f"{path.name}:{lineno}: {target}")
+    assert not dead, "dead relative link(s):\n" + "\n".join(dead)
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=[p.name for p in DOC_FILES])
+def test_python_examples_execute(path, tmp_path, monkeypatch):
+    blocks = extract_python_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no python examples")
+    # Examples may save campaign files etc. with relative paths; keep that
+    # out of the repo checkout.
+    monkeypatch.chdir(tmp_path)
+    namespace = {"__name__": f"docs_example_{path.stem}"}
+    for lineno, source in blocks:
+        code = compile(source, f"{path.name}:{lineno}", "exec")
+        try:
+            exec(code, namespace)  # noqa: S102 - executing our own docs
+        except Exception as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"example in {path.name} starting at line {lineno} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
