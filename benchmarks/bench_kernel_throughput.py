@@ -40,7 +40,7 @@ from repro.experiments.scenarios import fig5a_configs
 from repro.sim import units
 from repro.sim.engine import Simulator
 from repro.sim.flow import reset_flow_ids
-from repro.sim.stats import BufferSampler, QueueSampler
+from repro.results import InMemorySink
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_JSON = REPO_ROOT / "BENCH_kernel_throughput.json"
@@ -92,8 +92,7 @@ def run_one(config: ExperimentConfig) -> Dict[str, float]:
         topo,
         config.effective_sample_interval_ns(),
         config.total_duration_ns(),
-        BufferSampler(),
-        QueueSampler(),
+        InMemorySink(),
     )
     # Probe the queue depth periodically: the ROADMAP question "does the
     # calendar queue pay off at higher event density?" needs the pending

@@ -80,6 +80,9 @@ def execute_trial(
         seed=trial.seed,
         metrics=summarize_result(result),
         wall_seconds=time.monotonic() - started,
+        artifacts=(
+            {"results_dir": result.results_ref} if result.results_ref else {}
+        ),
     )
     return record, result
 

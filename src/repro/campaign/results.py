@@ -82,6 +82,13 @@ class TrialRecord:
     seed: int = 1
     metrics: Dict[str, float] = field(default_factory=dict)
     wall_seconds: float = field(default=0.0, compare=False)
+    #: Durable on-disk artifacts the trial left behind, keyed by kind —
+    #: notably ``"results_dir"``: the spilled ``repro.results`` directory
+    #: when the trial ran with ``results_dir`` set.  Excluded from equality
+    #: (two runs of the same trial into different scratch dirs are the same
+    #: trial) but persisted through JSONL, so a reloaded campaign can re-open
+    #: full per-flow data via :meth:`ResultSet.analyzer_for`.
+    artifacts: Dict[str, str] = field(default_factory=dict, compare=False)
 
     def get(self, key: str):
         """Look a key up across identity fields, params and metrics.
@@ -102,7 +109,7 @@ class TrialRecord:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload = {
             "name": self.name,
             "label": self.label,
             "scheme": self.scheme,
@@ -112,6 +119,11 @@ class TrialRecord:
             "metrics": dict(self.metrics),
             "wall_seconds": self.wall_seconds,
         }
+        # Written only when present, so files from artifact-less campaigns
+        # stay byte-identical to the pre-artifact format.
+        if self.artifacts:
+            payload["artifacts"] = dict(self.artifacts)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "TrialRecord":
@@ -124,6 +136,7 @@ class TrialRecord:
             seed=int(payload.get("seed", 1)),
             metrics=dict(payload.get("metrics", {})),
             wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            artifacts=dict(payload.get("artifacts", {})),
         )
 
 
@@ -245,6 +258,41 @@ class ResultSet:
                 "experiment_results() instead"
             )
         return {rec.label: self._results[rec.name] for rec in self.records}
+
+    # -- spilled artifacts ---------------------------------------------------
+
+    def artifacts_by_label(self, kind: str = "results_dir") -> Dict[str, str]:
+        """``{label: path}`` for every record carrying a ``kind`` artifact.
+
+        Unlike :meth:`experiment_results_by_label` this survives a JSONL
+        reload: artifact paths are persisted with the record, so a campaign
+        run with ``results_dir`` set can be analyzed long after (and outside)
+        the process that ran it.
+        """
+        return {
+            rec.label: rec.artifacts[kind]
+            for rec in self.records
+            if kind in rec.artifacts
+        }
+
+    def analyzer_for(self, label: str):
+        """A :class:`repro.results.ResultsAnalyzer` over one trial's spill dir.
+
+        Raises ``KeyError`` if no record has that label or the record carries
+        no ``results_dir`` artifact (trial ran with the in-memory harvest).
+        """
+        from repro.results import ResultsAnalyzer
+
+        for rec in self.records:
+            if rec.label == label:
+                if "results_dir" not in rec.artifacts:
+                    raise KeyError(
+                        f"trial {label!r} has no results_dir artifact; run its "
+                        "campaign with ExperimentConfig.results_dir set to spill "
+                        "per-flow records to disk"
+                    )
+                return ResultsAnalyzer(rec.artifacts["results_dir"])
+        raise KeyError(f"no record labelled {label!r} in campaign {self.campaign!r}")
 
     # -- aggregation --------------------------------------------------------
 

@@ -185,6 +185,33 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--strategy", default="auto", choices=list(SHARD_STRATEGIES))
     topology.add_argument("--json", action="store_true")
 
+    openloop = sub.add_parser(
+        "openloop",
+        help="run an open-loop cross-DC experiment (streams records to disk)",
+    )
+    openloop.add_argument("--scheme", default="BFC", choices=available_schemes())
+    openloop.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    openloop.add_argument("--flows", type=int, default=20_000,
+                          help="number of flow arrivals to offer")
+    openloop.add_argument("--users", type=int, default=1_000_000,
+                          help="modelled user population (superposed Poisson)")
+    openloop.add_argument("--load", type=float, default=0.5,
+                          help="offered load fraction of fabric capacity")
+    openloop.add_argument("--seed", type=int, default=1)
+    openloop.add_argument("--results-dir", default=None,
+                          help="spill per-flow records here (bounded-memory run); "
+                               "omit for the in-memory harvest")
+    openloop.add_argument("--json", action="store_true")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="summarize a spilled results directory (repro.results format)",
+    )
+    analyze.add_argument("results_dir", help="directory written by a results_dir run")
+    analyze.add_argument("--quantile", type=float, default=99.0,
+                         help="slowdown quantile for the per-size-bin table")
+    analyze.add_argument("--json", action="store_true")
+
     compare = sub.add_parser("compare", help="run several schemes on one trace")
     compare.add_argument("--schemes", nargs="+", default=["BFC", "DCQCN", "DCQCN+Win"],
                          choices=available_schemes())
@@ -277,6 +304,77 @@ def cmd_run(args: argparse.Namespace, out) -> int:
             format_series_table(
                 "p99 FCT slowdown vs flow size",
                 {args.scheme: result.slowdown_series()},
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_openloop(args: argparse.Namespace, out) -> int:
+    config = scenarios.openloop_crossdc_config(
+        args.scale,
+        args.scheme,
+        seed=args.seed,
+        users=args.users,
+        target_flows=args.flows,
+        target_load=args.load,
+        results_dir=args.results_dir,
+    )
+    result = run_experiment(config)
+    summary = _result_summary(result)
+    summary["flows_offered"] = result.flows_offered
+    if result.results_ref:
+        summary["results_dir"] = result.results_ref
+    if args.json:
+        json.dump(summary, out, indent=2)
+        print(file=out)
+    else:
+        print(
+            f"Open-loop cross-DC: {config.name} "
+            f"({args.users:,} users, {result.flows_offered:,} flows offered)",
+            file=out,
+        )
+        for key, value in summary.items():
+            if isinstance(value, float):
+                print(f"  {key:<24s} {value:.4f}", file=out)
+            else:
+                print(f"  {key:<24s} {value}", file=out)
+        if result.results_ref:
+            print(
+                f"\nper-flow records spilled to {result.results_ref}\n"
+                f"(inspect with: repro analyze {result.results_ref})",
+                file=out,
+            )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out) -> int:
+    from repro.results import ResultsAnalyzer
+
+    analyzer = ResultsAnalyzer(args.results_dir)
+    summary = analyzer.summarize()
+    series = analyzer.slowdown_series(quantile=args.quantile)
+    if args.json:
+        payload = dict(summary)
+        payload["slowdown_series"] = [
+            {"bin": label, "value": value, "count": count}
+            for label, value, count in series
+        ]
+        json.dump(payload, out, indent=2)
+        print(file=out)
+    else:
+        print(f"Spilled results: {args.results_dir}", file=out)
+        for key, value in sorted(summary.items()):
+            if isinstance(value, float):
+                print(f"  {key:<24s} {value:.4f}", file=out)
+            elif isinstance(value, (int, str, bool)):
+                print(f"  {key:<24s} {value}", file=out)
+        print(file=out)
+        print(
+            format_series_table(
+                f"p{args.quantile:g} FCT slowdown vs flow size",
+                {"run": series},
+                value_label=f"p{args.quantile:g} FCT slowdown",
             ),
             file=out,
         )
@@ -579,6 +677,8 @@ COMMANDS = {
     "run": cmd_run,
     "campaign": cmd_campaign,
     "sweep": cmd_campaign,
+    "openloop": cmd_openloop,
+    "analyze": cmd_analyze,
     "figure": cmd_figure,
     "compare": cmd_compare,
     "shard": cmd_shard,

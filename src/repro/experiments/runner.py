@@ -12,15 +12,17 @@ this runner one trial at a time.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import BfcConfig
 from repro.core.switchlogic import BfcSwitch
 from repro.congestion.dcqcn import DcqcnConfig
 from repro.congestion.hpcc import HpccConfig
+from repro.results.sinks import InMemorySink, ResultSink, SpillSink
 from repro.sim.engine import Simulator
 from repro.sim.flow import Flow, reset_flow_ids
 from repro.sim.stats import (
@@ -34,6 +36,7 @@ from repro.topology.crossdc import CrossDcParams, build_cross_dc
 from repro.topology.topology import Topology
 from repro.workloads.generator import WorkloadSpec, generate_workload
 from repro.workloads.incast import IncastSpec, generate_incast_series, incast_period_for_load
+from repro.workloads.openloop import OpenLoopSource, OpenLoopSpec
 from repro.workloads.trace import FlowTrace
 
 from .schemes import SchemeEnvironment, get_scheme
@@ -45,6 +48,15 @@ class TrafficSpec:
 
     Any combination of a background workload, a periodic incast process and an
     explicit flow list can be supplied; they are merged into a single trace.
+
+    ``open_loop`` is different in kind: it is *not* materialized into the
+    trace.  An :class:`~repro.workloads.openloop.OpenLoopSpec` is driven
+    lazily at run time (one arrival event per flow), its records are
+    harvested the moment each flow completes, and — by default — the flow's
+    simulation state is released right after, so memory stays independent of
+    how many flows the process offers.  It composes with the trace-based
+    kinds (the trace part is harvested at the end of the run as always) but
+    not with sharding (``shards > 1`` rejects it).
     """
 
     workload: Optional[WorkloadSpec] = None
@@ -54,6 +66,7 @@ class TrafficSpec:
     incast_period_ns: Optional[int] = None
     incast_receiver: Optional[int] = None
     explicit_flows: Optional[FlowTrace] = None
+    open_loop: Optional[OpenLoopSpec] = None
     seed: int = 1
 
     def build(
@@ -126,7 +139,13 @@ class ExperimentConfig:
       ``pfc_enabled``, and the per-scheme ``bfc_config`` / ``dcqcn_config``
       / ``hpcc_config`` overrides (``None`` = scheme defaults).
     * **Measurement** — ``sample_interval_ns`` (``None`` = ~200 samples per
-      run), ``max_events`` as a safety cap (rejected under sharding).
+      run), ``max_events`` as a safety cap (rejected under sharding);
+      ``results_dir`` switches the harvest from the default in-memory
+      collectors to the streaming spill pipeline (:mod:`repro.results`):
+      records stream to ``<results_dir>/<name>-s<seed>/`` and the returned
+      result holds fixed-size aggregates plus a ``results_ref`` pointing at
+      the artifacts.  The sink is a pure observer — it never changes what
+      is simulated.
     * **Execution** — ``shards``/``shard_strategy``: ``shards > 1`` runs
       this one experiment space-parallel across OS processes with records
       identical to the single-process run.  In a campaign, prefer
@@ -151,6 +170,10 @@ class ExperimentConfig:
     cross_dc: Optional[CrossDcParams] = None
     gateway_buffer_bytes: Optional[int] = None
     max_events: Optional[int] = None
+    #: Spill results to disk under this directory instead of holding them in
+    #: RAM (``None`` = in-memory harvest, byte-identical to the pre-spill
+    #: pipeline).  See ``docs/results.md``.
+    results_dir: Optional[str] = None
     #: Space-parallel sharding: >1 runs this one experiment across several
     #: OS processes via :mod:`repro.shard` (one topology, conservatively
     #: synchronized time windows).  1 is the ordinary single-process run.
@@ -169,7 +192,15 @@ class ExperimentConfig:
 
 @dataclass
 class ExperimentResult:
-    """Everything measured in one run."""
+    """Everything measured in one run.
+
+    ``flow_stats`` / ``buffer_sampler`` / ``queue_sampler`` are the in-memory
+    collectors for the default harvest, or their fixed-size streaming
+    stand-ins (:class:`repro.results.StreamingFlowStats` etc.) when the run
+    spilled to disk — both satisfy the same metric API, and the convenience
+    methods below only use that shared surface.  ``results_ref`` names the
+    spilled artifact directory when one exists.
+    """
 
     config: ExperimentConfig
     scheme: str
@@ -188,6 +219,12 @@ class ExperimentResult:
     #: Filled by the sharded runtime only: partition/cut/window/barrier
     #: statistics of the run (None for single-process runs).
     shard_stats: Optional[Dict[str, object]] = None
+    #: Spilled-artifact directory (``repro.results`` format) when the run
+    #: streamed its records to disk; ``None`` for the in-memory harvest.
+    results_ref: Optional[str] = None
+    #: NIC-level counters summed across all hosts (flows_started,
+    #: selective_retransmissions, out_of_order_packets, ...).
+    host_counters: Dict[str, int] = field(default_factory=dict)
 
     # -- convenience ------------------------------------------------------------
 
@@ -195,19 +232,17 @@ class ExperimentResult:
         return self.flow_stats.completion_rate()
 
     def p99_slowdown(self, include_incast: bool = False) -> float:
-        from repro.sim.stats import percentile
-
-        values = self.flow_stats.slowdowns(include_incast)
-        return percentile(values, 99) if values else 0.0
+        return self.flow_stats.slowdown_percentile(99.0, include_incast)
 
     def mean_slowdown(self, include_incast: bool = False) -> float:
-        values = self.flow_stats.slowdowns(include_incast)
-        return sum(values) / len(values) if values else 0.0
+        return self.flow_stats.mean_slowdown(include_incast)
 
     def slowdown_series(self, quantile: float = 99.0, bins=None):
         from repro.analysis.fct import slowdown_series
 
-        return slowdown_series(self.flow_stats.records, quantile=quantile, bins=bins)
+        return slowdown_series(
+            self.flow_stats.iter_records(), quantile=quantile, bins=bins
+        )
 
     def mean_utilization(self, active_only: bool = True) -> float:
         values = [
@@ -270,50 +305,77 @@ def _schedule_sampling(
     topo: Topology,
     interval_ns: int,
     until_ns: int,
-    buffer_sampler: BufferSampler,
-    queue_sampler: QueueSampler,
+    sink: ResultSink,
 ) -> None:
+    # NOTE: the sharded runtime's _ShardSampler mirrors this per-tick loop;
+    # keep the two in sync (same switch order, same record calls per tick).
     def sample() -> None:
         for switch in topo.all_switches():
-            buffer_sampler.record(switch.name, switch.buffer_occupancy())
+            sink.on_buffer_sample(switch.name, switch.buffer_occupancy())
             if isinstance(switch, BfcSwitch):
                 occupied = 0
                 for discipline in switch.bfc_disciplines():
                     occupied += discipline.occupied_physical_queues()
                     for backlog in discipline.per_queue_bytes():
                         if backlog > 0:
-                            queue_sampler.record_queue(backlog)
-                queue_sampler.record_occupied(occupied)
+                            sink.on_queue_sample(backlog)
+                sink.on_occupied_sample(occupied)
         if sim.now + interval_ns <= until_ns:
             sim.schedule(interval_ns, sample)
 
     sim.schedule(interval_ns, sample)
 
 
+class FlowRecorder:
+    """Turns finished (or unfinished) flows into :class:`FlowRecord` entries.
+
+    The one-way-delay lookup is memoized per ``(src, dst)`` pair — the
+    streaming path builds one record per completion event, and recomputing
+    the path delay a million times would dominate the harvest cost.
+    """
+
+    def __init__(self, topo: Topology, mtu: int) -> None:
+        self._topo = topo
+        self._mtu = mtu
+        self._line_rate = topo.host_link_rate_bps
+        self._delay_cache: Dict[Tuple[int, int], int] = {}
+
+    def _delay_ns(self, src: int, dst: int) -> int:
+        key = (src, dst)
+        delay = self._delay_cache.get(key)
+        if delay is None:
+            topo = self._topo
+            try:
+                delay = topo.one_way_delay_ns(src, dst)
+            except (ValueError, RuntimeError, KeyError):
+                delay = 2 * topo.link_delay_ns
+            self._delay_cache[key] = delay
+        return delay
+
+    def record(self, flow: Flow) -> FlowRecord:
+        return FlowRecord(
+            flow_id=flow.flow_id,
+            src=flow.src,
+            dst=flow.dst,
+            size=flow.size,
+            start_ns=flow.start_ns,
+            finish_ns=flow.finish_ns,
+            slowdown=flow.slowdown(
+                self._line_rate, self._delay_ns(flow.src, flow.dst), self._mtu
+            ),
+            is_incast=flow.is_incast,
+            tag=flow.tag,
+            retransmissions=flow.retransmitted_packets,
+        )
+
+
 def _harvest_flow_records(
     topo: Topology, flows: Sequence[Flow], mtu: int
 ) -> FlowStats:
     stats = FlowStats()
-    line_rate = topo.host_link_rate_bps
+    recorder = FlowRecorder(topo, mtu)
     for flow in flows:
-        try:
-            delay = topo.one_way_delay_ns(flow.src, flow.dst)
-        except (ValueError, RuntimeError, KeyError):
-            delay = 2 * topo.link_delay_ns
-        stats.add(
-            FlowRecord(
-                flow_id=flow.flow_id,
-                src=flow.src,
-                dst=flow.dst,
-                size=flow.size,
-                start_ns=flow.start_ns,
-                finish_ns=flow.finish_ns,
-                slowdown=flow.slowdown(line_rate, delay, mtu),
-                is_incast=flow.is_incast,
-                tag=flow.tag,
-                retransmissions=flow.retransmitted_packets,
-            )
-        )
+        stats.add(recorder.record(flow))
     return stats
 
 
@@ -400,6 +462,14 @@ def _aggregate_switch_counters(topo: Topology, switches=None) -> Dict[str, int]:
     return totals
 
 
+def _aggregate_host_counters(topo: Topology, hosts=None) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for host in topo.hosts.values() if hosts is None else hosts:
+        for name, value in host.counters.as_dict().items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
 def build_simulation(
     config: ExperimentConfig,
 ) -> Tuple[Simulator, SchemeEnvironment, Topology, FlowTrace]:
@@ -433,8 +503,58 @@ def build_topology_only(config: ExperimentConfig) -> Topology:
     return _build_topology(config, env)
 
 
+def make_sink(config: ExperimentConfig) -> ResultSink:
+    """The sink ``run_experiment`` uses when none is passed explicitly.
+
+    ``config.results_dir`` set: a :class:`SpillSink` writing to
+    ``<results_dir>/<name>-s<seed>/``; otherwise the in-memory default.
+    """
+    if config.results_dir is None:
+        return InMemorySink()
+    safe_name = (
+        config.name.replace("/", "-").replace(" ", "_").replace("\\", "-") or "run"
+    )
+    run_dir = os.path.join(config.results_dir, f"{safe_name}-s{config.seed}")
+    return SpillSink(run_dir, seed=config.seed)
+
+
+def _schedule_tombstone_reaper(
+    sim: Simulator, topo: Topology, horizon_ns: int, until_ns: int
+) -> None:
+    """Periodically delete receiver-state tombstones older than one horizon.
+
+    Two-generation scheme: a sweep first deletes the tombstones it marked on
+    the previous sweep, then marks the current ones.  A tombstone therefore
+    lives between one and two horizons — long enough for any straggling
+    duplicate of a completed flow to still hit the duplicate-ACK path — and
+    tombstone memory is bounded by the completion rate times the horizon,
+    not by the total flow count.
+    """
+    marked: Dict[int, Set[int]] = {}
+
+    def reap() -> None:
+        for host_id, host in topo.hosts.items():
+            receivers = host.receivers
+            previous = marked.get(host_id)
+            if previous:
+                for flow_id in previous:
+                    if type(receivers.get(flow_id)) is int:
+                        del receivers[flow_id]
+            marked[host_id] = {
+                flow_id
+                for flow_id, state in receivers.items()
+                if type(state) is int
+            }
+        if sim.now + horizon_ns <= until_ns:
+            sim.schedule(horizon_ns, reap)
+
+    sim.schedule(horizon_ns, reap)
+
+
 def run_experiment(
-    config: ExperimentConfig, slot_budget: Optional[int] = None
+    config: ExperimentConfig,
+    slot_budget: Optional[int] = None,
+    sink: Optional[ResultSink] = None,
 ) -> ExperimentResult:
     """Run one experiment end to end and return its measurements.
 
@@ -449,35 +569,94 @@ def run_experiment(
     sharded run's coordinator records it (and whether the shard count
     oversubscribes it) in ``ExperimentResult.shard_stats``, so plans and
     reality can be audited against each other.
+
+    ``sink`` overrides where measurement records go (default: chosen by
+    :func:`make_sink` from ``config.results_dir``).  The sink is a pure
+    observer; it never changes what is simulated.
     """
     if slot_budget is not None and slot_budget < 1:
         raise ValueError(f"slot_budget must be >= 1, got {slot_budget}")
     if config.shards > 1:
         from repro.shard.coordinator import run_sharded_experiment
 
-        return run_sharded_experiment(config, slot_budget=slot_budget)
+        return run_sharded_experiment(config, slot_budget=slot_budget, sink=sink)
     started = time.monotonic()
     sim, env, topo, trace = build_simulation(config)
     topo.start_flows(trace)
 
-    buffer_sampler = BufferSampler()
-    queue_sampler = QueueSampler()
+    if sink is None:
+        sink = make_sink(config)
+    recorder = FlowRecorder(topo, config.mtu)
+
+    # Open-loop traffic: arrivals are generated lazily by simulator events,
+    # records are harvested (and simulation state released) per completion.
+    open_spec = config.traffic.open_loop
+    source: Optional[OpenLoopSource] = None
+    if open_spec is not None:
+        source = OpenLoopSource(open_spec, sim, topo, seed=config.seed)
+        release = open_spec.release_flow_state
+        flow_registry = topo.flow_registry
+
+        def _on_complete(flow: Flow, now_ns: int) -> None:
+            if not source.notify_complete(flow):
+                return  # trace-based flow: harvested at the end, as always
+            sink.on_flow_record(recorder.record(flow))
+            if release:
+                topo.hosts[flow.dst].release_receiver_state(flow.flow_id)
+                flow_registry.pop(flow.flow_id, None)
+
+        for host in topo.hosts.values():
+            host.on_flow_complete = _on_complete
+        source.start()
+        if release:
+            horizon_ns = max(4 * env.host_rto_ns(), 8 * env.base_rtt_ns)
+            _schedule_tombstone_reaper(
+                sim, topo, horizon_ns, config.total_duration_ns()
+            )
+
     _schedule_sampling(
         sim,
         topo,
         config.effective_sample_interval_ns(),
         config.total_duration_ns(),
-        buffer_sampler,
-        queue_sampler,
+        sink,
     )
 
     sim.run(until=config.total_duration_ns(), max_events=config.max_events)
 
-    flow_stats = _harvest_flow_records(topo, list(trace), config.mtu)
+    for flow in trace:
+        sink.on_flow_record(recorder.record(flow))
+    if source is not None:
+        for flow in source.unfinished_flows():
+            sink.on_flow_record(recorder.record(flow))
+
     pause_fractions = _harvest_pause_fractions(topo, sim.now)
     utilization = _harvest_utilization(topo, config.duration_ns)
     collision_fraction, vfid_stats = _harvest_bfc_stats(topo)
     counters = _aggregate_switch_counters(topo)
+    host_counters = _aggregate_host_counters(topo)
+    flows_offered = len(trace) + (source.flows_started if source is not None else 0)
+    events_processed = sim.events_processed
+
+    extras = {
+        "name": config.name,
+        "scheme": config.scheme,
+        "seed": config.seed,
+        "flows_offered": flows_offered,
+        "events_processed": events_processed,
+        "dropped_packets": topo.total_dropped_packets(),
+        "switch_counters": dict(sorted(counters.items())),
+        "host_counters": dict(sorted(host_counters.items())),
+        "collision_fraction": collision_fraction,
+        "vfid_stats": dict(sorted(vfid_stats.items())),
+        "utilization_per_receiver": {
+            str(host_id): value for host_id, value in sorted(utilization.items())
+        },
+        "pause_fractions": {
+            cls: values for cls, values in sorted(pause_fractions.items())
+        },
+    }
+    flow_stats, buffer_sampler, queue_sampler = sink.finalize(extras)
 
     return ExperimentResult(
         config=config,
@@ -491,9 +670,11 @@ def run_experiment(
         switch_counters=counters,
         collision_fraction=collision_fraction,
         vfid_stats=vfid_stats,
-        flows_offered=len(trace),
-        events_processed=sim.events_processed,
+        flows_offered=flows_offered,
+        events_processed=events_processed,
         wall_seconds=time.monotonic() - started,
+        results_ref=sink.results_ref,
+        host_counters=host_counters,
     )
 
 

@@ -26,6 +26,7 @@ from repro.topology.crossdc import CrossDcParams
 from repro.workloads.distributions import FB_HADOOP, GOOGLE, WEBSEARCH, EmpiricalSizeDistribution
 from repro.workloads.generator import WorkloadSpec, generate_workload
 from repro.workloads.longlived import long_lived_flows, many_to_one_flows
+from repro.workloads.openloop import OpenLoopSpec
 
 from .runner import ExperimentConfig, TrafficSpec
 
@@ -374,6 +375,74 @@ def fig9_configs(
             drain_ns=scale.duration_ns,
         )
     return configs
+
+
+# ---------------------------------------------------------------------------
+# Open-loop cross-DC — the streaming-results headline scenario
+# ---------------------------------------------------------------------------
+
+
+def openloop_crossdc_config(
+    scale_name: str = "tiny",
+    scheme: str = "BFC",
+    seed: int = 1,
+    *,
+    users: int = 1_000_000,
+    target_flows: int = 100_000,
+    target_load: float = 0.5,
+    max_flow_size: Optional[int] = 20_000,
+    results_dir: Optional[str] = None,
+) -> ExperimentConfig:
+    """Open-loop Poisson sessions over the fig9 cross-DC fabric.
+
+    Models a population of ``users`` independent users whose superposed flow
+    arrivals hit ``target_load`` of the fabric, and sizes the run window so
+    that ``target_flows`` arrivals occur (``max_flows`` caps the count
+    exactly; the window has 10% slack so the cap, not the clock, ends the
+    arrival process).  Unlike the trace-based fig9 scenario no flow list is
+    ever materialized, so ``target_flows`` can be millions; pair with
+    ``results_dir`` to also keep the harvested records off the heap
+    (see ``docs/results.md``).
+    """
+    scale = get_scale(scale_name)
+    dc_params = scale.clos
+    cross = CrossDcParams(
+        dc_params=dc_params,
+        gateway_link_rate_bps=dc_params.link_rate_bps,
+        gateway_delay_ns=20_000 if scale_name != "paper" else 200_000,
+    )
+    num_hosts = 2 * dc_params.num_hosts
+    # Calibrate the aggregate rate from the load target, then divide it over
+    # the user population (superposition: N users at r flows/s == rate N*r).
+    probe = OpenLoopSpec(
+        distribution=GOOGLE,
+        duration_ns=1,
+        target_load=target_load,
+        max_flow_size=max_flow_size,
+    )
+    rate_per_s = probe.aggregate_rate_per_s(num_hosts, dc_params.link_rate_bps)
+    duration_ns = int(target_flows / rate_per_s * 1e9 * 1.1) + 1
+    spec = OpenLoopSpec(
+        distribution=GOOGLE,
+        duration_ns=duration_ns,
+        users=users,
+        flows_per_user_per_s=rate_per_s / users,
+        max_flow_size=max_flow_size,
+        max_flows=target_flows,
+    )
+    traffic = TrafficSpec(open_loop=spec, seed=seed)
+    return _base_config(
+        f"openloop-crossdc/{scheme}",
+        scheme,
+        scale,
+        traffic,
+        seed=seed,
+        cross_dc=cross,
+        gateway_buffer_bytes=5 * scale.buffer_bytes(),
+        duration_ns=duration_ns,
+        drain_ns=scale.duration_ns,
+        results_dir=results_dir,
+    )
 
 
 # ---------------------------------------------------------------------------

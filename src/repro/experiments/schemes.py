@@ -9,6 +9,7 @@ Scheme                 Switch                                      Host / conges
 ``DCQCN``              FIFO egress, ECN marking, PFC               DCQCN rate control
 ``DCQCN+Win``          FIFO egress, ECN marking, PFC               DCQCN + 1-BDP window cap
 ``DCQCN+Win+SFQ``      SFQ (32 queues, DRR), ECN marking, PFC      DCQCN + 1-BDP window cap
+``DCQCN+IRN``          FIFO egress, ECN marking, no PFC (lossy)    DCQCN + selective repeat
 ``HPCC``               FIFO egress, INT stamping, PFC              HPCC window control
 ``Ideal-FQ``           per-flow FQ, infinite buffer, no PFC        line rate + 1-BDP window cap
 ``SFQ+InfBuffer``      SFQ (32 queues), infinite buffer, no PFC    line rate + 1-BDP window cap
@@ -122,13 +123,21 @@ class SchemeSpec:
 # ---------------------------------------------------------------------------
 
 
-def _fifo_switch(env: SchemeEnvironment, name: str, tier: str, *, ecn: bool, int_enabled: bool) -> Switch:
+def _fifo_switch(
+    env: SchemeEnvironment,
+    name: str,
+    tier: str,
+    *,
+    ecn: bool,
+    int_enabled: bool,
+    use_pfc: bool = True,
+) -> Switch:
     return Switch(
         env.sim,
         name,
         buffer_bytes=env.buffer_for(tier),
         discipline_factory=lambda iface: FifoDiscipline(),
-        pfc=env.pfc(),
+        pfc=env.pfc() if use_pfc else env.no_pfc(),
         ecn=env.ecn() if ecn else EcnConfig(enabled=False),
         int_enabled=int_enabled,
         seed=env.seed,
@@ -190,6 +199,7 @@ def _host(
     int_enabled: bool = False,
     mark_first: bool = False,
     nic_class: Optional[type] = None,
+    loss_recovery: str = "go-back-n",
 ) -> Host:
     config = HostConfig(
         mtu=env.mtu,
@@ -197,6 +207,7 @@ def _host(
         int_enabled=int_enabled,
         mark_first_packet=mark_first,
         rto_ns=env.host_rto_ns(),
+        loss_recovery=loss_recovery,
     )
     return Host(
         env.sim,
@@ -216,6 +227,12 @@ def _dcqcn_host(env: SchemeEnvironment, name: str, host_id: int, *, windowed: bo
     else:
         factory = lambda rate: DcqcnControl(rate, config=cfg)
     return _host(env, name, host_id, factory)
+
+
+def _dcqcn_irn_host(env: SchemeEnvironment, name: str, host_id: int) -> Host:
+    cfg = env.dcqcn_config or DcqcnConfig()
+    factory = lambda rate: DcqcnControl(rate, config=cfg)
+    return _host(env, name, host_id, factory, loss_recovery="selective-repeat")
 
 
 def _hpcc_host(env: SchemeEnvironment, name: str, host_id: int) -> Host:
@@ -389,6 +406,19 @@ def _dcqcn_win_sfq_scheme():
     return (
         lambda env, name, tier: _sfq_switch(env, name, tier, ecn=True, infinite=False),
         lambda env, name, hid: _dcqcn_host(env, name, hid, windowed=True),
+    )
+
+
+@register_scheme(
+    "DCQCN+IRN",
+    description="DCQCN over a lossy fabric (no PFC) with IRN-style selective-repeat recovery",
+)
+def _dcqcn_irn_scheme():
+    return (
+        lambda env, name, tier: _fifo_switch(
+            env, name, tier, ecn=True, int_enabled=False, use_pfc=False
+        ),
+        lambda env, name, hid: _dcqcn_irn_host(env, name, hid),
     )
 
 

@@ -1,0 +1,43 @@
+"""Streaming results: bounded-memory harvest and lazy analysis.
+
+The run-time half (:mod:`repro.results.sinks`) sits behind the experiment
+runner's harvest seam: an :class:`InMemorySink` reproduces today's in-RAM
+``FlowStats`` / sampler objects record-for-record, while a :class:`SpillSink`
+streams flow-completion records to an append-only on-disk format
+(:mod:`repro.results.spill`) and folds sampler ticks into fixed-size
+aggregates (:mod:`repro.results.sketch`), so peak memory is independent of
+flow count.
+
+The analysis half (:mod:`repro.results.analyzer`) reads spilled artifacts
+back lazily with the same aggregate / percentile / slowdown-by-bin API the
+in-memory objects expose, so every existing figure pipeline works from disk.
+
+See ``docs/results.md`` for the on-disk format and accuracy contract.
+"""
+
+from .analyzer import ResultsAnalyzer
+from .sketch import QuantileSketch, ReservoirSampler, StreamingStats
+from .sinks import (
+    InMemorySink,
+    ResultSink,
+    SpillSink,
+    StreamingBufferSampler,
+    StreamingFlowStats,
+    StreamingQueueSampler,
+)
+from .spill import SpillReader, SpillWriter
+
+__all__ = [
+    "InMemorySink",
+    "QuantileSketch",
+    "ReservoirSampler",
+    "ResultSink",
+    "ResultsAnalyzer",
+    "SpillReader",
+    "SpillSink",
+    "SpillWriter",
+    "StreamingBufferSampler",
+    "StreamingFlowStats",
+    "StreamingQueueSampler",
+    "StreamingStats",
+]

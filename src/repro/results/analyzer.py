@@ -1,0 +1,182 @@
+"""Lazy query layer over spilled results.
+
+``ResultsAnalyzer(run_dir)`` opens one spilled run (see
+:mod:`repro.results.spill`) and answers the same questions the in-memory
+``ExperimentResult`` convenience methods and :mod:`repro.analysis.fct`
+answer — without loading all records into memory:
+
+* scalar aggregates (completion rate, mean/percentile slowdown, buffer
+  percentiles) come straight from ``summary.json``;
+* record-level queries (``slowdown_series``, ``bin_slowdowns``,
+  ``iter_flow_records``) stream ``flows.jsonl`` once, front to back.
+
+If ``summary.json`` is missing — the run crashed before ``finalize`` — the
+flow aggregates are rebuilt exactly by scanning the (possibly
+tail-truncated) record file, so a crashed run is still analyzable up to its
+last completed record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.stats import FlowRecord, percentile as _exact_percentile
+
+from .sinks import StreamingBufferSampler, StreamingFlowStats, StreamingQueueSampler
+from .spill import SUMMARY_FILENAME, SpillReader, load_summary
+
+
+class ResultsAnalyzer:
+    """Reads one spilled run directory back, lazily."""
+
+    def __init__(self, run_dir: str) -> None:
+        self.run_dir = run_dir
+        self.reader = SpillReader(run_dir)
+        self._summary: Optional[Dict[str, object]] = None
+        self._flow_stats: Optional[StreamingFlowStats] = None
+        self._buffer_sampler: Optional[StreamingBufferSampler] = None
+        self._queue_sampler: Optional[StreamingQueueSampler] = None
+
+    # -- summary access ----------------------------------------------------------
+
+    def has_summary(self) -> bool:
+        return os.path.exists(os.path.join(self.run_dir, SUMMARY_FILENAME))
+
+    @property
+    def summary(self) -> Optional[Dict[str, object]]:
+        if self._summary is None and self.has_summary():
+            self._summary = load_summary(self.run_dir)
+        return self._summary
+
+    @property
+    def extras(self) -> Dict[str, object]:
+        """Run-level metadata recorded at finalize (scheme, counters, ...)."""
+        summary = self.summary
+        if summary is None:
+            return {}
+        return dict(summary.get("extras", {}))
+
+    @property
+    def flow_stats(self) -> StreamingFlowStats:
+        if self._flow_stats is None:
+            summary = self.summary
+            if summary is not None and "flows" in summary:
+                self._flow_stats = StreamingFlowStats.from_dict(
+                    summary["flows"], spill_dir=self.run_dir
+                )
+            else:
+                # Crashed before finalize: rebuild the aggregate exactly from
+                # whatever records made it to disk.
+                stats = StreamingFlowStats(spill_dir=self.run_dir)
+                for record in self.reader.iter_records():
+                    stats.add(record)
+                self._flow_stats = stats
+        return self._flow_stats
+
+    def _sampler_section(self, key: str) -> Dict[str, object]:
+        summary = self.summary
+        if summary is None or key not in summary:
+            raise ValueError(
+                f"{self.run_dir} has no {SUMMARY_FILENAME} section {key!r} "
+                "(run crashed before finalize?); only flow records are available"
+            )
+        return summary[key]
+
+    @property
+    def buffer_sampler(self) -> StreamingBufferSampler:
+        if self._buffer_sampler is None:
+            self._buffer_sampler = StreamingBufferSampler.from_dict(
+                self._sampler_section("buffer")
+            )
+        return self._buffer_sampler
+
+    @property
+    def queue_sampler(self) -> StreamingQueueSampler:
+        if self._queue_sampler is None:
+            self._queue_sampler = StreamingQueueSampler.from_dict(
+                self._sampler_section("queue")
+            )
+        return self._queue_sampler
+
+    # -- record-level queries (one streaming pass each) -----------------------------
+
+    def iter_flow_records(self) -> Iterator[FlowRecord]:
+        return self.reader.iter_records()
+
+    def flow_count(self) -> int:
+        return self.flow_stats.total
+
+    def completed_count(self) -> int:
+        return self.flow_stats.completed_count
+
+    # -- scalar metrics ------------------------------------------------------------
+
+    def completion_rate(self) -> float:
+        return self.flow_stats.completion_rate()
+
+    def mean_slowdown(self, include_incast: bool = False) -> float:
+        return self.flow_stats.mean_slowdown(include_incast)
+
+    def slowdown_percentile(
+        self, q: float, include_incast: bool = False, exact: bool = False
+    ) -> float:
+        """Slowdown percentile; sketch-backed by default.
+
+        ``exact=True`` streams every completed flow's slowdown into one
+        sorted column — transiently O(completed flows) floats, the same
+        nearest-rank arithmetic as the in-memory path.
+        """
+        if not exact:
+            return self.flow_stats.slowdown_percentile(q, include_incast)
+        values: List[float] = [
+            r.slowdown
+            for r in self.iter_flow_records()
+            if r.finish_ns is not None
+            and r.slowdown is not None
+            and (include_incast or not r.is_incast)
+        ]
+        return _exact_percentile(values, q) if values else 0.0
+
+    def buffer_percentile(self, q: float) -> float:
+        return self.buffer_sampler.percentile(q)
+
+    def max_buffer_occupancy(self) -> int:
+        return self.buffer_sampler.max_occupancy()
+
+    # -- figure pipelines ------------------------------------------------------------
+
+    def slowdown_series(self, quantile: float = 99.0, bins=None):
+        """Per-size-bin slowdown percentiles (the fig5/fig9 x-axis series)."""
+        from repro.analysis.fct import slowdown_series
+
+        return slowdown_series(self.iter_flow_records(), quantile=quantile, bins=bins)
+
+    def bin_slowdowns(self, bins=None, include_incast: bool = False):
+        from repro.analysis.fct import bin_slowdowns
+
+        kwargs = {} if bins is None else {"bins": bins}
+        return bin_slowdowns(
+            self.iter_flow_records(), include_incast=include_incast, **kwargs
+        )
+
+    # -- one-stop summary -----------------------------------------------------------
+
+    def summarize(self) -> Dict[str, object]:
+        """Scalar metrics dict in the shape of campaign ``summarize_result``.
+
+        Keys computable from the spilled aggregates are always present;
+        run-level extras recorded at finalize (scheme, dropped packets,
+        event counts, ...) are merged in when available.
+        """
+        metrics: Dict[str, object] = {
+            "flows_offered": self.flow_stats.total,
+            "completion_rate": self.completion_rate(),
+            "p99_slowdown": self.slowdown_percentile(99.0),
+            "mean_slowdown": self.mean_slowdown(),
+        }
+        if self.summary is not None and "buffer" in self.summary:
+            metrics["p99_buffer_bytes"] = self.buffer_percentile(99.0)
+            metrics["max_buffer_bytes"] = self.max_buffer_occupancy()
+        metrics.update(self.extras)
+        return metrics

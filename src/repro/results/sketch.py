@@ -1,0 +1,288 @@
+"""Fixed-size streaming aggregators: quantile sketch, reservoir, moments.
+
+These are the run-time half of the bounded-memory harvest: every sampler
+tick (and every flow slowdown) is folded into objects whose size is a
+constant chosen at construction, never a function of how many values were
+observed.
+
+Accuracy contract (also documented in ``docs/results.md``):
+
+* :class:`QuantileSketch` is **exact** — bit-identical to
+  :func:`repro.sim.stats.percentile` — until more than ``exact_cap`` values
+  have been added.  Beyond that it compresses into at most ``max_centroids``
+  weighted centroids (a Ben-Haim/Yom-Tov-style streaming histogram, the same
+  family as a t-digest with uniform compression), and percentile queries
+  interpolate between centroid means.  The rank error of a query is bounded
+  by the largest centroid weight, which compression keeps near
+  ``count / max_centroids`` — about 0.2 % of rank at the default size.
+  Minimum and maximum are always tracked exactly, so p0/p100 never drift.
+* :class:`ReservoirSampler` keeps a uniform random sample of fixed size
+  ``k`` (Vitter's algorithm R) using its own seeded RNG, so spilled
+  artifacts retain a raw, unbiased sub-sample for CDF plots without
+  touching simulation RNG streams.
+* :class:`StreamingStats` keeps count / sum / min / max exactly.
+
+All three serialize to plain-JSON dicts (``to_dict`` / ``from_dict``) so the
+spill layer can persist them in ``summary.json``, and all three support
+``merge`` so the shard coordinator can combine per-shard aggregates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.stats import percentile as _exact_percentile
+
+#: Defaults: exact up to 4096 values, then ~512 centroids.  At these sizes a
+#: sketch costs a few tens of kilobytes regardless of how many billions of
+#: values pass through it.
+DEFAULT_EXACT_CAP = 4096
+DEFAULT_MAX_CENTROIDS = 512
+
+
+class QuantileSketch:
+    """Streaming quantile estimator with an exact small-count fallback.
+
+    Values are buffered raw until ``exact_cap`` is exceeded; queries in that
+    regime use the repo's nearest-rank :func:`~repro.sim.stats.percentile`
+    and are therefore *identical* to computing on the full list.  Past the
+    cap, the buffer is compressed into at most ``max_centroids``
+    ``(mean, weight)`` centroids by rank-uniform adjacent merging; later
+    additions re-fill the buffer and are folded in by recompression.
+    """
+
+    __slots__ = (
+        "exact_cap",
+        "max_centroids",
+        "count",
+        "_points",
+        "_compressed",
+        "_compress_at",
+        "_min",
+        "_max",
+    )
+
+    def __init__(
+        self,
+        exact_cap: int = DEFAULT_EXACT_CAP,
+        max_centroids: int = DEFAULT_MAX_CENTROIDS,
+    ) -> None:
+        if exact_cap < 1 or max_centroids < 2:
+            raise ValueError("exact_cap must be >= 1 and max_centroids >= 2")
+        self.exact_cap = exact_cap
+        self.max_centroids = max_centroids
+        self.count = 0
+        #: ``(value, weight)`` pairs; raw additions carry weight 1.  Kept
+        #: unsorted between compressions (adds are O(1)).
+        self._points: List[Tuple[float, float]] = []
+        self._compressed = False
+        self._compress_at = max(exact_cap, 2 * max_centroids)
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # -- ingest -----------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        self._points.append((value, 1.0))
+        if len(self._points) > self._compress_at:
+            self._compress()
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch into this one (shard-merge path)."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        if self._min is None or (other._min is not None and other._min < self._min):
+            self._min = other._min
+        if self._max is None or (other._max is not None and other._max > self._max):
+            self._max = other._max
+        self._points.extend(other._points)
+        self._compressed = self._compressed or other._compressed
+        if self._compressed or len(self._points) > self._compress_at:
+            self._compress()
+
+    def _compress(self) -> None:
+        """Merge sorted points into <= max_centroids rank-uniform buckets."""
+        points = sorted(self._points)
+        total = sum(w for _, w in points)
+        target = total / self.max_centroids
+        merged: List[Tuple[float, float]] = []
+        acc_w = 0.0
+        acc_vw = 0.0
+        for value, weight in points:
+            acc_w += weight
+            acc_vw += value * weight
+            if acc_w >= target:
+                merged.append((acc_vw / acc_w, acc_w))
+                acc_w = 0.0
+                acc_vw = 0.0
+        if acc_w > 0:
+            merged.append((acc_vw / acc_w, acc_w))
+        self._points = merged
+        self._compressed = True
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """True while queries are bit-identical to the full-list percentile."""
+        return not self._compressed
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        if self.count == 0:
+            return 0.0
+        if not self._compressed:
+            return _exact_percentile([v for v, _ in self._points], q)
+        if q <= 0:
+            return float(self.min)
+        if q >= 100:
+            return float(self.max)
+        centroids = sorted(self._points)
+        target = q / 100.0 * self.count
+        # Interpolate between cumulative-weight midpoints; each centroid's
+        # mass is treated as centred at its mean.
+        prev_value = float(self.min)
+        prev_mid = 0.0
+        cum = 0.0
+        for value, weight in centroids:
+            mid = cum + weight / 2.0
+            if mid >= target:
+                if mid <= prev_mid:
+                    return float(value)
+                frac = (target - prev_mid) / (mid - prev_mid)
+                return float(prev_value + frac * (value - prev_value))
+            prev_value = value
+            prev_mid = mid
+            cum += weight
+        return float(self.max)
+
+    # -- (de)serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "exact_cap": self.exact_cap,
+            "max_centroids": self.max_centroids,
+            "count": self.count,
+            "min": self._min,
+            "max": self._max,
+            "compressed": self._compressed,
+            "points": [[v, w] for v, w in self._points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QuantileSketch":
+        sketch = cls(
+            exact_cap=int(data.get("exact_cap", DEFAULT_EXACT_CAP)),
+            max_centroids=int(data.get("max_centroids", DEFAULT_MAX_CENTROIDS)),
+        )
+        sketch.count = int(data["count"])
+        sketch._min = data.get("min")
+        sketch._max = data.get("max")
+        sketch._compressed = bool(data.get("compressed", False))
+        sketch._points = [(float(v), float(w)) for v, w in data.get("points", [])]
+        return sketch
+
+
+class ReservoirSampler:
+    """Uniform fixed-size random sample of a stream (algorithm R).
+
+    The RNG is private and seeded at construction, so adding values never
+    perturbs simulation RNG streams and the retained sample is reproducible
+    for a given observation order.
+    """
+
+    __slots__ = ("k", "count", "values", "_rng")
+
+    def __init__(self, k: int = 1024, seed: int = 0) -> None:
+        if k < 1:
+            raise ValueError("reservoir size must be >= 1")
+        self.k = k
+        self.count = 0
+        self.values: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self.values) < self.k:
+            self.values.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.k:
+                self.values[j] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"k": self.k, "count": self.count, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReservoirSampler":
+        sampler = cls(k=int(data.get("k", 1024)))
+        sampler.count = int(data["count"])
+        sampler.values = [float(v) for v in data.get("values", [])]
+        return sampler
+
+
+class StreamingStats:
+    """Exact count / sum / min / max of a stream in O(1) memory."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "StreamingStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (self.minimum is None or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None or other.maximum > self.maximum):
+            self.maximum = other.maximum
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self.maximum if self.maximum is not None else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StreamingStats":
+        stats = cls()
+        stats.count = int(data["count"])
+        stats.total = float(data["total"])
+        stats.minimum = data.get("min")
+        stats.maximum = data.get("max")
+        return stats

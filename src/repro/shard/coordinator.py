@@ -41,7 +41,6 @@ from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.core.switchlogic import BfcSwitch
-from repro.sim.stats import BufferSampler, FlowStats, QueueSampler
 
 from .boundary import InjectionQueue, attach_boundaries
 from .partition import PartitionSpec, partition_topology
@@ -205,12 +204,15 @@ def _harvest_shard(
             receiver_flows[flow.flow_id] = (flow.finish_ns, flow.bytes_delivered)
 
     from repro.experiments.runner import (
+        _aggregate_host_counters,
         _aggregate_switch_counters,
         _collect_bfc_stats,
     )
 
     local_switches = [s for s in topo.all_switches() if shard_of[s.name] == shard_id]
     counters = _aggregate_switch_counters(topo, local_switches)
+    local_hosts = [h for h in topo.hosts.values() if shard_of[h.name] == shard_id]
+    host_counters = _aggregate_host_counters(topo, local_hosts)
     dropped = sum(s.dropped_packets() for s in local_switches)
 
     # Same collectors as the single-process harvest, restricted to the local
@@ -246,6 +248,7 @@ def _harvest_shard(
         "sender_flows": sender_flows,
         "receiver_flows": receiver_flows,
         "counters": counters,
+        "host_counters": host_counters,
         "dropped": dropped,
         "bfc": bfc,
         "pause": pause,
@@ -421,15 +424,26 @@ class ShardCoordinator:
 # ---------------------------------------------------------------------------
 
 
-def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinator):
-    """Fold the shard payloads into one single-process-shaped ExperimentResult."""
+def _merge_results(
+    config, topo, trace, spec, payloads, wall_started, coordinator, sink=None
+):
+    """Fold the shard payloads into one single-process-shaped ExperimentResult.
+
+    The merge streams through the same :class:`~repro.results.ResultSink`
+    seam as the single-process runner: flow records and re-interleaved
+    sampler ticks are pushed one at a time, so a spilling sink keeps the
+    merge memory bounded instead of materializing full in-RAM collectors.
+    """
     barriers = coordinator.barriers
     boundary_packets = coordinator.boundary_packets
     from repro.experiments.runner import (
         ExperimentResult,
-        _harvest_flow_records,
+        FlowRecorder,
+        make_sink,
     )
 
+    if sink is None:
+        sink = make_sink(config)
     by_shard = {payload["shard"]: payload for payload in payloads}
 
     # Flow records: apply each side's fields to the coordinator's own trace
@@ -439,6 +453,7 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinato
     for payload in payloads:
         sender_fields.update(payload["sender_flows"])
         receiver_fields.update(payload["receiver_flows"])
+    recorder = FlowRecorder(topo, config.mtu)
     for flow in trace:
         sent = sender_fields.get(flow.flow_id)
         if sent is not None:
@@ -446,10 +461,11 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinato
         received = receiver_fields.get(flow.flow_id)
         if received is not None:
             flow.finish_ns, flow.bytes_delivered = received
-    flow_stats: FlowStats = _harvest_flow_records(topo, list(trace), config.mtu)
+        sink.on_flow_record(recorder.record(flow))
 
     # Counters / drops / BFC stats: plain sums (max for the table high-water).
     switch_counters: Dict[str, int] = {}
+    host_counters: Dict[str, int] = {}
     dropped = 0
     assignments = collisions = 0
     vfid_stats: Dict[str, int] = {}
@@ -457,6 +473,8 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinato
     for payload in payloads:
         for name, value in payload["counters"].items():
             switch_counters[name] = switch_counters.get(name, 0) + value
+        for name, value in payload.get("host_counters", {}).items():
+            host_counters[name] = host_counters.get(name, 0) + value
         dropped += payload["dropped"]
         bfc = payload["bfc"]
         if bfc is not None:
@@ -511,16 +529,14 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinato
     if len(tick_counts) > 1:
         raise ShardError(f"shards disagree on sampling tick count: {tick_counts}")
     ticks = tick_counts.pop() if tick_counts else 0
-    buffer_sampler = BufferSampler()
-    queue_sampler = QueueSampler()
     for tick in range(ticks):
         for switch in topo.all_switches():
             name = switch.name
-            buffer_sampler.record(name, buffer_ticks[name][tick])
+            sink.on_buffer_sample(name, buffer_ticks[name][tick])
             if name in queue_ticks:
                 for backlog in queue_ticks[name][tick]:
-                    queue_sampler.record_queue(backlog)
-                queue_sampler.record_occupied(occupied_ticks[name][tick])
+                    sink.on_queue_sample(backlog)
+                sink.on_occupied_sample(occupied_ticks[name][tick])
 
     events_processed = sum(payload["events"] for payload in payloads)
     shard_stats = spec.stats(topo)
@@ -541,6 +557,26 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinato
         }
     )
 
+    extras = {
+        "name": config.name,
+        "scheme": config.scheme,
+        "seed": config.seed,
+        "flows_offered": len(trace),
+        "events_processed": events_processed,
+        "dropped_packets": dropped,
+        "switch_counters": dict(sorted(switch_counters.items())),
+        "host_counters": dict(sorted(host_counters.items())),
+        "collision_fraction": collision_fraction,
+        "vfid_stats": dict(sorted(vfid_stats.items())),
+        "utilization_per_receiver": {
+            str(host_id): value for host_id, value in sorted(utilization.items())
+        },
+        "pause_fractions": {
+            cls: values for cls, values in sorted(pause_fractions.items())
+        },
+    }
+    flow_stats, buffer_sampler, queue_sampler = sink.finalize(extras)
+
     return ExperimentResult(
         config=config,
         scheme=config.scheme,
@@ -557,6 +593,8 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinato
         events_processed=events_processed,
         wall_seconds=time.monotonic() - wall_started,
         shard_stats=shard_stats,
+        results_ref=sink.results_ref,
+        host_counters=host_counters,
     )
 
 
@@ -565,7 +603,9 @@ def _merge_results(config, topo, trace, spec, payloads, wall_started, coordinato
 # ---------------------------------------------------------------------------
 
 
-def run_sharded_experiment(config, slot_budget: Optional[int] = None) -> "object":
+def run_sharded_experiment(
+    config, slot_budget: Optional[int] = None, sink=None
+) -> "object":
     """Run ``config`` across ``config.shards`` processes and merge the result.
 
     Falls back to the ordinary single-process runner when the partition
@@ -575,11 +615,21 @@ def run_sharded_experiment(config, slot_budget: Optional[int] = None) -> "object
     ``slot_budget`` is the campaign scheduler's CPU-slot reservation for this
     run (see :func:`repro.experiments.runner.run_experiment`); it is recorded
     in ``shard_stats`` and never changes the simulation.
+
+    ``sink`` is the result sink the merge streams into (default: chosen from
+    ``config.results_dir``); per-shard measurements are merged through it
+    record by record instead of materializing in-RAM collectors first.
     """
     from repro.experiments.runner import build_simulation, run_experiment
 
+    if config.traffic.open_loop is not None and config.shards > 1:
+        raise ShardError(
+            "open-loop traffic is not supported with shards > 1 (arrivals are "
+            "generated at run time on the coordinator's clock, which has no "
+            "per-shard equivalent yet); run with shards=1"
+        )
     if config.shards < 2:
-        return run_experiment(replace(config, shards=1))
+        return run_experiment(replace(config, shards=1), sink=sink)
     if config.max_events is not None:
         raise ShardError(
             "max_events is not supported with shards > 1 (the event cap is a "
@@ -591,7 +641,7 @@ def run_sharded_experiment(config, slot_budget: Optional[int] = None) -> "object
     spec = partition_topology(topo, config.shards, config.shard_strategy)
     shard_ids = spec.nonempty_shards()
     if len(shard_ids) < 2 or not spec.cuts:
-        result = run_experiment(replace(config, shards=1))
+        result = run_experiment(replace(config, shards=1), sink=sink)
         result.shard_stats = spec.stats(topo)
         result.shard_stats["degenerate"] = True
         if slot_budget is not None:
@@ -603,4 +653,6 @@ def run_sharded_experiment(config, slot_budget: Optional[int] = None) -> "object
 
     coordinator = ShardCoordinator(config, spec, shard_ids, slot_budget=slot_budget)
     payloads = coordinator.run()
-    return _merge_results(config, topo, trace, spec, payloads, started, coordinator)
+    return _merge_results(
+        config, topo, trace, spec, payloads, started, coordinator, sink=sink
+    )

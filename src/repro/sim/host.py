@@ -707,6 +707,17 @@ class Host(Node):
                 packet.flow_id, packet.flow_size, self.config.mtu, packet.key.src
             )
             self.receivers[packet.flow_id] = rstate
+        elif type(rstate) is int:
+            # Completed flow whose receiver state was released (streaming
+            # open-loop harvest, see release_receiver_state).  Any data packet
+            # arriving now is by definition a duplicate of an already-delivered
+            # sequence number, so reproduce the duplicate-data path: count it
+            # and re-ACK the final cumulative sequence number (the tombstone).
+            # The CNP rate-limit clock went away with the released state, so
+            # no CNP is sent for marked duplicates — see docs/results.md.
+            self.counters.incr("duplicate_packets")
+            self._send_release_ack(packet, rstate)
+            return
         if packet.ecn_marked:
             self._maybe_send_cnp(packet, rstate)
         selective = self._selective
@@ -741,6 +752,40 @@ class Host(Node):
             if self.on_flow_complete:
                 self.on_flow_complete(flow, now)
         self.counters.incr("flows_completed")
+
+    def release_receiver_state(self, flow_id: int) -> None:
+        """Drop a completed flow's :class:`ReceiverFlowState`, leaving a tombstone.
+
+        Streaming open-loop runs call this once the flow's record has been
+        harvested, so receiver memory does not grow with total flow count.
+        The state is replaced by a bare ``int`` (the flow's packet count ==
+        the final cumulative ACK sequence): straggling duplicates still get
+        the exact duplicate-ACK response a completed state would have given,
+        without retaining the full object.  Tombstones are reclaimed later by
+        the runner's generational reaper (see ``repro.experiments.runner``).
+        """
+        rstate = self.receivers.get(flow_id)
+        if rstate is not None and type(rstate) is not int:
+            self.receivers[flow_id] = rstate.num_packets
+
+    def _send_release_ack(self, packet: Packet, final_seq: int) -> None:
+        # Mirrors _send_ack for a tombstoned flow (same size, echo and INT
+        # handling); ack_seq is the tombstone == the final cumulative seq.
+        ack = Packet(
+            kind=PacketKind.ACK,
+            flow_id=packet.flow_id,
+            key=packet.key.reversed(),
+            size=ACK_SIZE,
+            ack_seq=final_seq,
+            created_ns=self.sim.now,
+            ecn_echo=packet.ecn_marked,
+        )
+        if packet.int_enabled:
+            ack.int_enabled = False
+            ack.int_stack = list(packet.int_stack)
+        self._pending_control.append(ack)
+        cv = self._cv
+        cv["acks_sent"] += 1
 
     def _maybe_send_ack(self, packet: Packet, rstate: ReceiverFlowState) -> None:
         is_last = rstate.expected_seq >= rstate.num_packets

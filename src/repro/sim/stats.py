@@ -143,10 +143,12 @@ class BufferSampler:
     def __init__(self) -> None:
         self.samples: List[int] = []
         self.per_switch: Dict[str, List[int]] = {}
+        self._sorted: Optional[List[int]] = None
 
     def record(self, switch_name: str, occupancy_bytes: int) -> None:
         self.samples.append(occupancy_bytes)
         self.per_switch.setdefault(switch_name, []).append(occupancy_bytes)
+        self._sorted = None
 
     def max_occupancy(self) -> int:
         return max(self.samples) if self.samples else 0
@@ -154,7 +156,12 @@ class BufferSampler:
     def percentile(self, q: float) -> float:
         if not self.samples:
             return 0.0
-        data = sorted(self.samples)
+        # Sorted snapshot is cached across queries and invalidated on record:
+        # analysis code asks for several percentiles of the same sample set,
+        # and re-sorting the full list per call is O(n log n) each time.
+        data = self._sorted
+        if data is None or len(data) != len(self.samples):
+            data = self._sorted = sorted(self.samples)
         idx = min(len(data) - 1, int(q / 100.0 * len(data)))
         return float(data[idx])
 
@@ -170,9 +177,11 @@ class QueueSampler:
     def __init__(self) -> None:
         self.queue_bytes: List[int] = []
         self.occupied_queues: List[int] = []
+        self._sorted_queue: Optional[List[int]] = None
 
     def record_queue(self, backlog_bytes: int) -> None:
         self.queue_bytes.append(backlog_bytes)
+        self._sorted_queue = None
 
     def record_occupied(self, count: int) -> None:
         self.occupied_queues.append(count)
@@ -180,7 +189,10 @@ class QueueSampler:
     def queue_percentile(self, q: float) -> float:
         if not self.queue_bytes:
             return 0.0
-        data = sorted(self.queue_bytes)
+        # Same cached-sorted-snapshot scheme as BufferSampler.percentile.
+        data = self._sorted_queue
+        if data is None or len(data) != len(self.queue_bytes):
+            data = self._sorted_queue = sorted(self.queue_bytes)
         idx = min(len(data) - 1, int(q / 100.0 * len(data)))
         return float(data[idx])
 
@@ -234,6 +246,18 @@ class FlowStats:
             for r in self.completed(include_incast)
             if r.slowdown is not None
         ]
+
+    def iter_records(self):
+        """Iterate records; same surface as the streaming (spilled) variant."""
+        return iter(self.records)
+
+    def slowdown_percentile(self, q: float, include_incast: bool = False) -> float:
+        values = self.slowdowns(include_incast)
+        return percentile(values, q) if values else 0.0
+
+    def mean_slowdown(self, include_incast: bool = False) -> float:
+        values = self.slowdowns(include_incast)
+        return sum(values) / len(values) if values else 0.0
 
 
 # ---------------------------------------------------------------------------

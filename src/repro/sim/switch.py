@@ -28,10 +28,13 @@ from .stats import Counters
 # PFC frames are link-local; they carry a dummy key.
 _PFC_KEY = FlowKey(src=-1, dst=-1, src_port=0, dst_port=0)
 
-#: Cap on the per-switch ECMP memo; ~64K live flow keys per switch is far
-#: beyond any scenario's working set, and clearing is cheap relative to
-#: recomputing the cached picks.
-_ROUTE_CACHE_LIMIT = 1 << 16
+#: Cap on the per-switch ECMP memo.  The pick is a pure function of the flow
+#: key and the switch salt, so clearing only costs a recompute on the next
+#: miss — the limit exists purely to bound memory.  4K entries comfortably
+#: covers any scenario's *concurrent* flow working set while keeping peak
+#: RSS flat on million-flow open-loop runs (a 64K cap per switch was the
+#: dominant memory-growth term between 1e4 and 1e5 offered flows).
+_ROUTE_CACHE_LIMIT = 1 << 12
 
 
 @dataclass

@@ -11,6 +11,7 @@ from .distributions import (
 from .generator import WorkloadSpec, generate_workload, load_to_arrival_rate
 from .incast import IncastSpec, generate_incast_series, incast_period_for_load
 from .longlived import long_lived_flows, many_to_one_flows
+from .openloop import OpenLoopSource, OpenLoopSpec
 from .trace import FlowTrace
 
 __all__ = [
@@ -28,5 +29,7 @@ __all__ = [
     "incast_period_for_load",
     "long_lived_flows",
     "many_to_one_flows",
+    "OpenLoopSource",
+    "OpenLoopSpec",
     "FlowTrace",
 ]

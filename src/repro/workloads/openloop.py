@@ -1,0 +1,206 @@
+"""Open-loop session traffic: Poisson arrivals generated lazily at run time.
+
+The trace-based generators (:mod:`repro.workloads.generator`) materialize
+every flow up front, which caps experiment scale at the memory needed to
+hold the trace.  An open-loop source instead draws each arrival *during*
+the simulation: it models a population of users who each start flows as an
+independent Poisson process, and uses the superposition property — ``N``
+users at ``r`` flows/s each are statistically identical to one Poisson
+process at rate ``N * r`` — so "millions of users" costs one exponential
+draw per flow and a fixed-size dict of currently-live flows, never an
+O(total flows) trace.
+
+The source pairs with the streaming harvest (:mod:`repro.results`): each
+flow's record is spilled the moment it completes and its simulation state
+is released, which is what makes run-time memory independent of how many
+flows the run offers (see ``docs/results.md``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.flow import Flow
+
+from .distributions import EmpiricalSizeDistribution
+from .generator import load_to_arrival_rate
+
+
+@dataclass
+class OpenLoopSpec:
+    """An open-loop Poisson arrival process over a flow-size distribution.
+
+    Exactly one of three rate parameterisations must be supplied:
+
+    * ``arrival_rate_per_s`` — the aggregate arrival rate, directly;
+    * ``users`` × ``flows_per_user_per_s`` — a user-population model whose
+      superposed rate is their product;
+    * ``target_load`` — calibrated against the aggregate host link capacity
+      and the distribution's mean flow size, exactly like the closed-loop
+      :func:`~repro.workloads.generator.load_to_arrival_rate`.
+
+    Attributes
+    ----------
+    distribution:
+        Flow-size distribution (Google / FB_Hadoop / WebSearch / custom).
+    duration_ns:
+        Arrivals stop after this simulation time (drain continues).
+    max_flow_size:
+        Optional cap on sampled sizes (scaled-down runs cap the tail).
+    max_flows:
+        Optional hard cap on the number of arrivals — lets benchmarks run
+        "exactly N flows" regardless of rate.
+    src_hosts / dst_hosts:
+        Optional host subsets (the cross-DC scenario uses these to shape
+        the inter-DC traffic share); default is all hosts for both.
+    release_flow_state:
+        When true (the default), the runner releases each flow's simulation
+        state as soon as its record is harvested, keeping memory bounded.
+    seed_offset:
+        Added to the experiment seed for the source's private RNG, so
+        open-loop draws are decorrelated from trace-generation streams.
+    """
+
+    distribution: EmpiricalSizeDistribution
+    duration_ns: int
+    arrival_rate_per_s: Optional[float] = None
+    users: Optional[int] = None
+    flows_per_user_per_s: Optional[float] = None
+    target_load: Optional[float] = None
+    max_flow_size: Optional[int] = None
+    max_flows: Optional[int] = None
+    src_hosts: Optional[List[int]] = None
+    dst_hosts: Optional[List[int]] = None
+    tag: str = "openloop"
+    release_flow_state: bool = True
+    seed_offset: int = 101
+
+    def validate(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        modes = [
+            self.arrival_rate_per_s is not None,
+            self.users is not None or self.flows_per_user_per_s is not None,
+            self.target_load is not None,
+        ]
+        if sum(modes) != 1:
+            raise ValueError(
+                "specify exactly one of arrival_rate_per_s, "
+                "users+flows_per_user_per_s, or target_load"
+            )
+        if self.arrival_rate_per_s is not None and self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if self.users is not None or self.flows_per_user_per_s is not None:
+            if not self.users or not self.flows_per_user_per_s:
+                raise ValueError("users and flows_per_user_per_s go together")
+            if self.users < 1 or self.flows_per_user_per_s <= 0:
+                raise ValueError("users must be >= 1 and flows_per_user_per_s > 0")
+        if self.target_load is not None and not 0 < self.target_load < 1.5:
+            raise ValueError("target_load must be in (0, 1.5)")
+        if self.max_flows is not None and self.max_flows < 0:
+            raise ValueError("max_flows must be >= 0")
+
+    def aggregate_rate_per_s(self, num_hosts: int, host_link_rate_bps: float) -> float:
+        """The superposed Poisson arrival rate in flows per second."""
+        self.validate()
+        if self.arrival_rate_per_s is not None:
+            return self.arrival_rate_per_s
+        if self.users is not None:
+            return self.users * self.flows_per_user_per_s
+        mean_size = self.distribution.mean()
+        if self.max_flow_size is not None:
+            mean_size = min(mean_size, self.max_flow_size)
+        return load_to_arrival_rate(
+            self.target_load, num_hosts, host_link_rate_bps, mean_size
+        )
+
+    def expected_flows(self, num_hosts: int, host_link_rate_bps: float) -> float:
+        """Expected arrival count over ``duration_ns`` (before ``max_flows``)."""
+        rate = self.aggregate_rate_per_s(num_hosts, host_link_rate_bps)
+        expected = rate * self.duration_ns / 1e9
+        if self.max_flows is not None:
+            expected = min(expected, float(self.max_flows))
+        return expected
+
+
+class OpenLoopSource:
+    """Drives an :class:`OpenLoopSpec` inside a running simulation.
+
+    The source schedules one simulator event per arrival: the event creates
+    the flow, hands it to its source host and draws the next exponential
+    inter-arrival gap.  Only *live* flows (started but not yet completed)
+    are tracked; the runner calls :meth:`notify_complete` from the host
+    completion hook to untrack them, so the source's footprint is the
+    steady-state number of in-flight flows, not the total offered.
+    """
+
+    def __init__(self, spec: OpenLoopSpec, sim, topo, seed: int) -> None:
+        spec.validate()
+        self.spec = spec
+        self.sim = sim
+        self.topo = topo
+        self.rng = random.Random(seed + spec.seed_offset)
+        host_ids = topo.host_ids()
+        if len(host_ids) < 2:
+            raise ValueError("open-loop traffic needs at least two hosts")
+        self.srcs = list(spec.src_hosts) if spec.src_hosts is not None else list(host_ids)
+        self.dsts = list(spec.dst_hosts) if spec.dst_hosts is not None else list(host_ids)
+        if not self.srcs or not self.dsts:
+            raise ValueError("src_hosts and dst_hosts must be non-empty")
+        rate = spec.aggregate_rate_per_s(len(host_ids), topo.host_link_rate_bps)
+        self.mean_interarrival_ns = 1e9 / rate
+        self.live: Dict[int, Flow] = {}
+        self.flows_started = 0
+        self._port = 1
+
+    # -- arrival process ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first arrival (call once, before ``sim.run``)."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        spec = self.spec
+        if spec.max_flows is not None and self.flows_started >= spec.max_flows:
+            return
+        gap_ns = self.rng.expovariate(1.0) * self.mean_interarrival_ns
+        at_ns = self.sim.now + max(1, int(gap_ns))
+        if at_ns >= spec.duration_ns:
+            return
+        self.sim.schedule_at(at_ns, self._arrival)
+
+    def _arrival(self) -> None:
+        spec = self.spec
+        rng = self.rng
+        size = spec.distribution.sample(rng)
+        if spec.max_flow_size is not None:
+            size = min(size, spec.max_flow_size)
+        src = rng.choice(self.srcs)
+        dst = rng.choice(self.dsts)
+        while dst == src:
+            dst = rng.choice(self.dsts)
+        flow = Flow(
+            src=src,
+            dst=dst,
+            size=size,
+            start_ns=self.sim.now,
+            src_port=1_000 + (self._port % 50_000),
+            tag=spec.tag,
+        )
+        self._port += 1
+        self.live[flow.flow_id] = flow
+        self.flows_started += 1
+        self.topo.host(src).start_flow(flow)
+        self._schedule_next()
+
+    # -- completion bookkeeping ----------------------------------------------------
+
+    def notify_complete(self, flow: Flow) -> bool:
+        """Untrack a completed flow; True iff this source started it."""
+        return self.live.pop(flow.flow_id, None) is not None
+
+    def unfinished_flows(self) -> List[Flow]:
+        """Started-but-incomplete flows, in deterministic (flow id) order."""
+        return [self.live[flow_id] for flow_id in sorted(self.live)]

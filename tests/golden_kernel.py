@@ -11,10 +11,12 @@ scenario once so that
 * ``python tests/golden_kernel.py --write`` can regenerate the fixture when a
   *behavioural* change is intended (never as part of a pure perf refactor).
 
-The scenario is a shortened fig5a-style slice covering the three most
+The scenario is a shortened fig5a-style slice covering the four most
 distinct kernels: BFC (VFID table, Bloom pauses, physical queues), DCQCN
-(ECN marking + RNG draws) and HPCC (INT stamping), so a regression in any
-per-packet layer shows up as a record diff.
+(ECN marking + RNG draws), HPCC (INT stamping) and DCQCN+IRN on a lossy
+fabric with a deliberately undersized buffer (tail drops, selective-repeat
+retransmissions, out-of-order reassembly), so a regression in any
+per-packet layer — including loss recovery — shows up as a record diff.
 """
 
 from __future__ import annotations
@@ -31,21 +33,31 @@ from repro.sim import units
 GOLDEN_PATH = Path(__file__).parent / "golden" / "kernel_records.json"
 
 #: Schemes exercised by the golden scenario (one per kernel family).
-GOLDEN_SCHEMES = ["BFC", "DCQCN", "HPCC"]
+GOLDEN_SCHEMES = ["BFC", "DCQCN", "HPCC", "DCQCN+IRN"]
 
 #: Shortened run window (the fig5a tiny default is 600 us + drain).
 GOLDEN_DURATION_NS = units.microseconds(300)
 
 GOLDEN_SEED = 5
 
+#: The lossy-fabric entry shrinks the shared buffer so tail drops actually
+#: occur inside the short golden window (8x division gives ~100 drops),
+#: forcing the selective-repeat recovery path onto the golden record.
+GOLDEN_IRN_BUFFER_DIVISOR = 8
+
 
 def golden_configs():
     """The fixed {scheme: ExperimentConfig} map of the golden scenario."""
     configs = fig5a_configs("tiny", schemes=GOLDEN_SCHEMES, seed=GOLDEN_SEED)
-    return {
-        scheme: replace(config, duration_ns=GOLDEN_DURATION_NS)
-        for scheme, config in configs.items()
-    }
+    out = {}
+    for scheme, config in configs.items():
+        config = replace(config, duration_ns=GOLDEN_DURATION_NS)
+        if scheme == "DCQCN+IRN":
+            config = replace(
+                config, buffer_bytes=config.buffer_bytes // GOLDEN_IRN_BUFFER_DIVISOR
+            )
+        out[scheme] = config
+    return out
 
 
 def canonical_records(result: ExperimentResult) -> Dict[str, object]:
@@ -77,6 +89,7 @@ def canonical_records(result: ExperimentResult) -> Dict[str, object]:
         "dropped_packets": result.dropped_packets,
         "collision_fraction": result.collision_fraction,
         "switch_counters": dict(sorted(result.switch_counters.items())),
+        "host_counters": dict(sorted(result.host_counters.items())),
         "vfid_stats": dict(sorted(result.vfid_stats.items())),
         "utilization_per_receiver": {
             str(host): value

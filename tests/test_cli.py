@@ -108,6 +108,48 @@ class TestRunCommand:
         assert json.loads(output)["dropped_packets"] == 0
 
 
+class TestOpenLoopAndAnalyze:
+    def test_openloop_spills_and_analyze_reads_back(self, tmp_path):
+        results_dir = str(tmp_path / "spill")
+        code, output = run_cli(
+            ["openloop", "--scheme", "DCQCN", "--flows", "300",
+             "--seed", "3", "--results-dir", results_dir, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["flows_offered"] == 300
+        assert payload["results_dir"].startswith(results_dir)
+
+        code, output = run_cli(["analyze", payload["results_dir"], "--json"])
+        assert code == 0
+        analyzed = json.loads(output)
+        assert analyzed["flows_offered"] == 300
+        assert analyzed["scheme"] == "DCQCN"
+        assert any(point["count"] > 0 for point in analyzed["slowdown_series"])
+
+    def test_openloop_in_memory_text_output(self):
+        code, output = run_cli(
+            ["openloop", "--scheme", "DCQCN", "--flows", "200", "--seed", "2"]
+        )
+        assert code == 0
+        assert "flows offered" in output
+        assert "p99_slowdown" in output
+        assert "results_dir" not in output
+
+    def test_analyze_text_table(self, tmp_path):
+        results_dir = str(tmp_path / "spill")
+        code, payload_text = run_cli(
+            ["openloop", "--scheme", "DCQCN", "--flows", "200",
+             "--results-dir", results_dir, "--json"]
+        )
+        assert code == 0
+        run_dir = json.loads(payload_text)["results_dir"]
+        code, output = run_cli(["analyze", run_dir])
+        assert code == 0
+        assert "flow size" in output
+        assert "completion_rate" in output
+
+
 class TestCampaignCommand:
     def test_campaign_json_records(self):
         code, output = run_cli(

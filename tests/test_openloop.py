@@ -1,0 +1,159 @@
+"""Tests for the open-loop Poisson arrival source and its scenario."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import fig5a_configs, openloop_crossdc_config
+from repro.shard import ShardError
+from repro.shard.coordinator import run_sharded_experiment
+from repro.sim import units
+from repro.workloads import GOOGLE, OpenLoopSpec
+
+
+def spec_kwargs(**overrides):
+    kwargs = dict(
+        distribution=GOOGLE,
+        duration_ns=units.microseconds(100),
+        arrival_rate_per_s=1e6,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+class TestOpenLoopSpec:
+    def test_requires_exactly_one_rate_mode(self):
+        with pytest.raises(ValueError):
+            OpenLoopSpec(distribution=GOOGLE, duration_ns=100).validate()
+        with pytest.raises(ValueError):
+            OpenLoopSpec(
+                distribution=GOOGLE,
+                duration_ns=100,
+                arrival_rate_per_s=1.0,
+                target_load=0.5,
+            ).validate()
+
+    def test_users_fields_go_together(self):
+        with pytest.raises(ValueError):
+            OpenLoopSpec(distribution=GOOGLE, duration_ns=100, users=10).validate()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            OpenLoopSpec(**spec_kwargs(duration_ns=0)).validate()
+        with pytest.raises(ValueError):
+            OpenLoopSpec(**spec_kwargs(arrival_rate_per_s=-1.0)).validate()
+        with pytest.raises(ValueError):
+            OpenLoopSpec(
+                distribution=GOOGLE, duration_ns=100, target_load=2.0
+            ).validate()
+
+    def test_superposition_rate(self):
+        # N users at r flows/s superpose to one Poisson process at N*r.
+        spec = OpenLoopSpec(
+            distribution=GOOGLE,
+            duration_ns=units.microseconds(100),
+            users=2_000_000,
+            flows_per_user_per_s=0.5,
+        )
+        assert spec.aggregate_rate_per_s(8, 5e9) == pytest.approx(1_000_000.0)
+
+    def test_direct_rate_passthrough(self):
+        spec = OpenLoopSpec(**spec_kwargs())
+        assert spec.aggregate_rate_per_s(8, 5e9) == 1e6
+
+    def test_target_load_calibration_positive(self):
+        spec = OpenLoopSpec(
+            distribution=GOOGLE,
+            duration_ns=units.microseconds(100),
+            target_load=0.5,
+            max_flow_size=20_000,
+        )
+        assert spec.aggregate_rate_per_s(8, 5e9) > 0
+
+    def test_expected_flows_caps_at_max_flows(self):
+        spec = OpenLoopSpec(**spec_kwargs(max_flows=10))
+        # 1e6 flows/s over 100us ~= 100 expected, capped at 10
+        assert spec.expected_flows(8, 5e9) == 10.0
+
+
+def openloop_experiment_config(duration_us=300, seed=7, **spec_overrides):
+    base = fig5a_configs("tiny", schemes=["DCQCN"], seed=seed)["DCQCN"]
+    duration = units.microseconds(duration_us)
+    spec_fields = dict(
+        distribution=GOOGLE,
+        duration_ns=duration,
+        target_load=0.4,
+        max_flow_size=20_000,
+    )
+    spec_fields.update(spec_overrides)
+    spec = OpenLoopSpec(**spec_fields)
+    return replace(
+        base,
+        name="openloop-test",
+        duration_ns=duration,
+        drain_ns=duration // 2,
+        traffic=replace(base.traffic, workload=None, incast_load=None, open_loop=spec),
+    )
+
+
+class TestOpenLoopRuns:
+    def test_deterministic_across_runs(self):
+        a = run_experiment(openloop_experiment_config())
+        b = run_experiment(openloop_experiment_config())
+        assert a.flows_offered == b.flows_offered
+        assert a.events_processed == b.events_processed
+        assert a.flow_stats.records == b.flow_stats.records
+
+    def test_seed_changes_arrivals(self):
+        a = run_experiment(openloop_experiment_config(seed=7))
+        b = run_experiment(openloop_experiment_config(seed=8))
+        assert a.flow_stats.records != b.flow_stats.records
+
+    def test_max_flows_is_exact(self):
+        result = run_experiment(openloop_experiment_config(max_flows=25))
+        assert result.flows_offered == 25
+        assert len(result.flow_stats.records) == 25
+
+    def test_records_cover_unfinished_flows(self):
+        # Offered == recorded even when some flows cannot finish in time.
+        result = run_experiment(openloop_experiment_config(duration_us=150))
+        assert len(result.flow_stats.records) == result.flows_offered
+        assert result.completion_rate() > 0.5
+
+    def test_flow_state_release_matches_retained(self):
+        # Releasing completed receiver state is invisible in the records.
+        keep = run_experiment(
+            openloop_experiment_config(release_flow_state=False)
+        )
+        release = run_experiment(
+            openloop_experiment_config(release_flow_state=True)
+        )
+        assert release.flow_stats.records == keep.flow_stats.records
+        assert release.events_processed == keep.events_processed
+
+    def test_rejected_with_shards(self):
+        config = replace(openloop_experiment_config(), shards=2)
+        with pytest.raises(ShardError):
+            run_sharded_experiment(config)
+
+
+class TestOpenLoopCrossDcScenario:
+    def test_offers_exactly_target_flows(self, tmp_path):
+        config = openloop_crossdc_config(
+            "tiny", "DCQCN", seed=3, target_flows=400, results_dir=str(tmp_path)
+        )
+        result = run_experiment(config)
+        assert result.flows_offered == 400
+        assert result.completion_rate() > 0.9
+        assert result.results_ref is not None
+
+    def test_user_population_is_pure_bookkeeping(self):
+        # Same aggregate rate, different population split: identical runs.
+        a = openloop_crossdc_config("tiny", "DCQCN", users=1_000, target_flows=200)
+        b = openloop_crossdc_config(
+            "tiny", "DCQCN", users=1_000_000, target_flows=200
+        )
+        ra = run_experiment(a)
+        rb = run_experiment(b)
+        assert ra.flow_stats.records == rb.flow_stats.records

@@ -1,0 +1,227 @@
+"""Equivalence and analyzer tests for the streaming results subsystem.
+
+The load-bearing contract: routing the harvest through a ``SpillSink``
+changes *where* measurements live, never *what* is measured.  A spilled run
+must reproduce the in-memory run record for record, event for event.
+"""
+
+import math
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import make_sink, run_experiment
+from repro.experiments.scenarios import fig5a_configs
+from repro.results import (
+    InMemorySink,
+    ResultsAnalyzer,
+    SpillSink,
+    StreamingFlowStats,
+)
+from repro.sim import units
+from repro.workloads import GOOGLE, OpenLoopSpec
+
+DURATION_NS = units.microseconds(100)
+
+
+def trace_config(tmp_path=None, scheme="DCQCN"):
+    config = fig5a_configs("tiny", schemes=[scheme], seed=5)[scheme]
+    results_dir = None if tmp_path is None else str(tmp_path / "spill")
+    return replace(config, duration_ns=DURATION_NS, results_dir=results_dir)
+
+
+def openloop_config(tmp_path=None, duration_us=400):
+    base = fig5a_configs("tiny", schemes=["DCQCN"], seed=7)["DCQCN"]
+    duration = units.microseconds(duration_us)
+    spec = OpenLoopSpec(
+        distribution=GOOGLE,
+        duration_ns=duration,
+        target_load=0.4,
+        max_flow_size=20_000,
+    )
+    results_dir = None if tmp_path is None else str(tmp_path / "spill")
+    return replace(
+        base,
+        name="openloop-test",
+        duration_ns=duration,
+        drain_ns=duration // 2,
+        traffic=replace(base.traffic, workload=None, incast_load=None, open_loop=spec),
+        results_dir=results_dir,
+    )
+
+
+def series_equal(a, b):
+    """slowdown_series tuples compare equal, treating NaN == NaN."""
+    if len(a) != len(b):
+        return False
+    for (la, va, ca), (lb, vb, cb) in zip(a, b):
+        if la != lb or ca != cb:
+            return False
+        if not (va == vb or (math.isnan(va) and math.isnan(vb))):
+            return False
+    return True
+
+
+class TestSpillEquivalence:
+    def test_trace_run_identical_to_in_memory(self, tmp_path):
+        mem = run_experiment(trace_config())
+        spill = run_experiment(trace_config(tmp_path))
+        assert spill.results_ref is not None
+        assert spill.events_processed == mem.events_processed
+        assert spill.dropped_packets == mem.dropped_packets
+        assert spill.switch_counters == mem.switch_counters
+        assert spill.host_counters == mem.host_counters
+        assert spill.flow_stats.records == mem.flow_stats.records
+        assert spill.completion_rate() == mem.completion_rate()
+        # below the sketch's exact cap the percentile is bit-identical
+        assert spill.p99_slowdown() == mem.p99_slowdown()
+        assert spill.mean_slowdown() == pytest.approx(mem.mean_slowdown())
+
+    def test_open_loop_run_identical_to_in_memory(self, tmp_path):
+        mem = run_experiment(openloop_config())
+        spill = run_experiment(openloop_config(tmp_path))
+        assert mem.flows_offered > 100
+        assert spill.flows_offered == mem.flows_offered
+        assert spill.events_processed == mem.events_processed
+        assert spill.flow_stats.records == mem.flow_stats.records
+
+    def test_sink_choice_never_changes_simulation(self, tmp_path):
+        # Same config, explicit sinks of both kinds: identical event counts.
+        mem = run_experiment(trace_config(), sink=InMemorySink())
+        spill = run_experiment(
+            trace_config(), sink=SpillSink(str(tmp_path / "explicit"))
+        )
+        assert spill.events_processed == mem.events_processed
+
+    def test_streaming_result_supports_series_api(self, tmp_path):
+        mem = run_experiment(trace_config())
+        spill = run_experiment(trace_config(tmp_path))
+        assert series_equal(spill.slowdown_series(), mem.slowdown_series())
+
+
+class TestResultsAnalyzer:
+    def test_analyzer_matches_run(self, tmp_path):
+        result = run_experiment(trace_config(tmp_path))
+        analyzer = ResultsAnalyzer(result.results_ref)
+        assert analyzer.flow_count() == len(result.flow_stats.records)
+        assert analyzer.completion_rate() == result.completion_rate()
+        assert analyzer.slowdown_percentile(99.0) == result.p99_slowdown()
+        assert analyzer.slowdown_percentile(99.0, exact=True) == result.p99_slowdown()
+        assert series_equal(analyzer.slowdown_series(), result.slowdown_series())
+        assert analyzer.extras["scheme"] == "DCQCN"
+        assert analyzer.max_buffer_occupancy() == result.buffer_sampler.max_occupancy()
+
+    def test_summarize_has_campaign_shape(self, tmp_path):
+        result = run_experiment(trace_config(tmp_path))
+        metrics = ResultsAnalyzer(result.results_ref).summarize()
+        for key in (
+            "flows_offered",
+            "completion_rate",
+            "p99_slowdown",
+            "mean_slowdown",
+            "p99_buffer_bytes",
+            "max_buffer_bytes",
+            "events_processed",
+        ):
+            assert key in metrics
+        assert metrics["flows_offered"] == result.flows_offered
+
+    def test_crashed_run_rebuilds_from_records(self, tmp_path):
+        result = run_experiment(trace_config(tmp_path))
+        n = len(result.flow_stats.records)
+        # Simulate a crash before finalize: summary never written.
+        os.remove(os.path.join(result.results_ref, "summary.json"))
+        analyzer = ResultsAnalyzer(result.results_ref)
+        assert not analyzer.has_summary()
+        assert analyzer.flow_count() == n
+        assert analyzer.completion_rate() == result.completion_rate()
+        # sampler aggregates lived only in the summary
+        with pytest.raises(ValueError):
+            analyzer.buffer_sampler
+
+    def test_records_property_materializes(self, tmp_path):
+        result = run_experiment(trace_config(tmp_path))
+        stats = result.flow_stats
+        assert isinstance(stats, StreamingFlowStats)
+        assert stats.records == list(stats.iter_records())
+
+    def test_streaming_stats_without_spill_dir_refuses_records(self):
+        with pytest.raises(RuntimeError):
+            StreamingFlowStats().iter_records()
+
+
+class TestMakeSink:
+    def test_default_is_in_memory(self):
+        assert isinstance(make_sink(trace_config()), InMemorySink)
+
+    def test_results_dir_selects_spill(self, tmp_path):
+        sink = make_sink(trace_config(tmp_path))
+        assert isinstance(sink, SpillSink)
+
+    def test_run_dir_sanitizes_scheme_slashes(self, tmp_path):
+        config = replace(trace_config(tmp_path), name="fig9/DCQCN+Win weird\\x")
+        sink = make_sink(config)
+        base = os.path.basename(sink.run_dir)
+        assert "/" not in base and " " not in base and "\\" not in base
+        assert base.endswith("-s5")
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        sink = SpillSink(str(tmp_path / "run"))
+        first = sink.finalize({"scheme": "X"})
+        second = sink.finalize({"scheme": "ignored"})
+        assert first is not None and second is not None
+        assert ResultsAnalyzer(str(tmp_path / "run")).extras["scheme"] == "X"
+
+
+class TestCampaignArtifacts:
+    def test_trial_record_round_trips_artifacts(self):
+        from repro.campaign.results import TrialRecord
+
+        rec = TrialRecord(
+            name="t", label="t", scheme="BFC", artifacts={"results_dir": "/x/y"}
+        )
+        clone = TrialRecord.from_dict(rec.to_dict())
+        assert clone.artifacts == {"results_dir": "/x/y"}
+        # absence stays absent (old-format files unchanged)
+        bare = TrialRecord(name="u", label="u", scheme="BFC")
+        assert "artifacts" not in bare.to_dict()
+        assert TrialRecord.from_dict(bare.to_dict()).artifacts == {}
+
+    def test_result_set_opens_analyzer_for_artifact(self, tmp_path):
+        from repro.campaign.results import ResultSet, TrialRecord
+
+        result = run_experiment(trace_config(tmp_path))
+        rs = ResultSet(
+            [
+                TrialRecord(
+                    name="a",
+                    label="spilled",
+                    scheme="DCQCN",
+                    artifacts={"results_dir": result.results_ref},
+                ),
+                TrialRecord(name="b", label="plain", scheme="BFC"),
+            ]
+        )
+        assert rs.artifacts_by_label() == {"spilled": result.results_ref}
+        analyzer = rs.analyzer_for("spilled")
+        assert analyzer.flow_count() == len(result.flow_stats.records)
+        with pytest.raises(KeyError):
+            rs.analyzer_for("plain")
+        with pytest.raises(KeyError):
+            rs.analyzer_for("missing")
+
+    def test_execute_trial_attaches_results_dir(self, tmp_path):
+        from repro.campaign.executors import execute_trial
+
+        class StubTrial:
+            name = "t/0"
+            label = "t"
+            scheme = "DCQCN"
+            params = {}
+            repeat = 0
+            seed = 5
+            config = trace_config(tmp_path)
+
+        record, result = execute_trial(StubTrial())
+        assert record.artifacts == {"results_dir": result.results_ref}

@@ -1,0 +1,197 @@
+"""Unit tests for the fixed-size streaming aggregators."""
+
+import random
+
+import pytest
+
+from repro.results.sketch import QuantileSketch, ReservoirSampler, StreamingStats
+from repro.sim.stats import percentile as exact_percentile
+
+
+class TestQuantileSketchExact:
+    def test_empty_sketch_returns_zero(self):
+        assert QuantileSketch().percentile(99.0) == 0.0
+
+    def test_exact_below_cap(self):
+        # Below exact_cap the sketch must be *bit-identical* to the repo's
+        # nearest-rank percentile on the raw list.
+        rng = random.Random(3)
+        values = [rng.lognormvariate(1.0, 1.5) for _ in range(500)]
+        sketch = QuantileSketch(exact_cap=1000)
+        for v in values:
+            sketch.add(v)
+        assert sketch.is_exact
+        for q in (0.0, 10.0, 50.0, 90.0, 99.0, 100.0):
+            assert sketch.percentile(q) == exact_percentile(values, q)
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(exact_cap=0)
+        with pytest.raises(ValueError):
+            QuantileSketch(max_centroids=1)
+
+
+class TestQuantileSketchCompressed:
+    def test_compresses_past_cap(self):
+        sketch = QuantileSketch(exact_cap=100, max_centroids=16)
+        for i in range(500):
+            sketch.add(float(i))
+        assert not sketch.is_exact
+        # points re-accumulate between compressions but never exceed the
+        # fixed compression trigger — that constant is the memory bound
+        assert len(sketch._points) <= sketch._compress_at + 1
+        assert sketch.count == 500
+
+    def test_min_max_always_exact(self):
+        sketch = QuantileSketch(exact_cap=10, max_centroids=4)
+        rng = random.Random(9)
+        values = [rng.uniform(-50, 50) for _ in range(1000)]
+        for v in values:
+            sketch.add(v)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert sketch.percentile(0.0) == min(values)
+        assert sketch.percentile(100.0) == max(values)
+
+    def test_rank_error_bound_lognormal(self):
+        # 100k heavy-tailed values through a default-size sketch: the rank of
+        # the estimate must stay within 1% of the requested rank.
+        rng = random.Random(17)
+        values = [rng.lognormvariate(1.0, 2.0) for _ in range(100_000)]
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.add(v)
+        assert not sketch.is_exact
+        ordered = sorted(values)
+        n = len(ordered)
+        for q in (50.0, 90.0, 99.0, 99.9):
+            estimate = sketch.percentile(q)
+            # rank of the estimate in the true data
+            lo, hi = 0, n
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if ordered[mid] < estimate:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            rank_error = abs(lo / n - q / 100.0)
+            assert rank_error < 0.01, f"q={q}: rank error {rank_error:.4f}"
+
+    def test_merge_matches_union(self):
+        rng = random.Random(5)
+        a_vals = [rng.gauss(0, 1) for _ in range(3000)]
+        b_vals = [rng.gauss(5, 2) for _ in range(3000)]
+        a = QuantileSketch(exact_cap=500, max_centroids=128)
+        b = QuantileSketch(exact_cap=500, max_centroids=128)
+        for v in a_vals:
+            a.add(v)
+        for v in b_vals:
+            b.add(v)
+        a.merge(b)
+        assert a.count == 6000
+        union = sorted(a_vals + b_vals)
+        for q in (10.0, 50.0, 90.0, 99.0):
+            true = exact_percentile(union, q)
+            est = a.percentile(q)
+            # value comparison against the spread of the union
+            spread = union[-1] - union[0]
+            assert abs(est - true) < 0.05 * spread
+
+    def test_merge_empty_is_noop(self):
+        a = QuantileSketch()
+        a.add(1.0)
+        a.merge(QuantileSketch())
+        assert a.count == 1
+        assert a.percentile(50.0) == 1.0
+
+    def test_serialization_round_trip(self):
+        sketch = QuantileSketch(exact_cap=50, max_centroids=8)
+        for i in range(200):
+            sketch.add(float(i % 37))
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.count == sketch.count
+        assert clone.min == sketch.min
+        assert clone.max == sketch.max
+        for q in (1.0, 25.0, 50.0, 75.0, 99.0):
+            assert clone.percentile(q) == sketch.percentile(q)
+
+    def test_serialization_round_trip_exact_regime(self):
+        sketch = QuantileSketch()
+        for v in (3.0, 1.0, 2.0):
+            sketch.add(v)
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.is_exact
+        assert clone.percentile(50.0) == sketch.percentile(50.0) == 2.0
+
+
+class TestReservoirSampler:
+    def test_keeps_everything_below_k(self):
+        res = ReservoirSampler(k=10, seed=1)
+        for i in range(7):
+            res.add(float(i))
+        assert sorted(res.values) == [float(i) for i in range(7)]
+        assert res.count == 7
+
+    def test_bounded_at_k(self):
+        res = ReservoirSampler(k=16, seed=2)
+        for i in range(10_000):
+            res.add(float(i))
+        assert len(res.values) == 16
+        assert res.count == 10_000
+
+    def test_deterministic_for_seed(self):
+        a = ReservoirSampler(k=8, seed=42)
+        b = ReservoirSampler(k=8, seed=42)
+        for i in range(1000):
+            a.add(float(i))
+            b.add(float(i))
+        assert a.values == b.values
+
+    def test_round_trip(self):
+        res = ReservoirSampler(k=4, seed=0)
+        for i in range(100):
+            res.add(float(i))
+        clone = ReservoirSampler.from_dict(res.to_dict())
+        assert clone.values == res.values
+        assert clone.count == res.count
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(k=0)
+
+
+class TestStreamingStats:
+    def test_tracks_exact_moments(self):
+        stats = StreamingStats()
+        for v in (5.0, -2.0, 9.0):
+            stats.add(v)
+        assert stats.count == 3
+        assert stats.total == 12.0
+        assert stats.minimum == -2.0
+        assert stats.max == 9.0
+        assert stats.mean() == 4.0
+
+    def test_empty_defaults(self):
+        stats = StreamingStats()
+        assert stats.mean() == 0.0
+        assert stats.max == 0.0
+
+    def test_merge(self):
+        a = StreamingStats()
+        b = StreamingStats()
+        a.add(1.0)
+        b.add(10.0)
+        b.add(-3.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 8.0
+        assert a.minimum == -3.0
+        assert a.maximum == 10.0
+
+    def test_round_trip(self):
+        stats = StreamingStats()
+        stats.add(7.0)
+        clone = StreamingStats.from_dict(stats.to_dict())
+        assert clone.count == 1
+        assert clone.total == 7.0
+        assert clone.minimum == 7.0

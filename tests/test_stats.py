@@ -122,6 +122,31 @@ class TestSamplers:
         assert sampler.queue_percentile(99) == 40
         assert sampler.occupied_queues == [7]
 
+    def test_buffer_percentile_cache_invalidated_by_record(self):
+        # percentile() caches its sorted snapshot; a new sample must refresh it.
+        sampler = BufferSampler()
+        sampler.record("s1", 10)
+        sampler.record("s1", 20)
+        assert sampler.percentile(100) == 20
+        sampler.record("s1", 5)
+        assert sampler.percentile(0) == 5
+        assert sampler.percentile(100) == 20
+
+    def test_buffer_percentile_repeated_queries_stay_consistent(self):
+        sampler = BufferSampler()
+        for value in (3, 1, 2):
+            sampler.record("s1", value)
+        first = [sampler.percentile(q) for q in (0, 50, 100)]
+        second = [sampler.percentile(q) for q in (0, 50, 100)]
+        assert first == second == [1, 2, 3]
+
+    def test_queue_percentile_cache_invalidated_by_record(self):
+        sampler = QueueSampler()
+        sampler.record_queue(100)
+        assert sampler.queue_percentile(50) == 100
+        sampler.record_queue(50)
+        assert sampler.queue_percentile(0) == 50
+
 
 class TestFlowStats:
     def _record(self, flow_id, slowdown, incast=False, finished=True):
@@ -154,6 +179,19 @@ class TestFlowStats:
         stats = FlowStats()
         assert stats.completion_rate() == 0.0
         assert stats.slowdowns() == []
+        assert stats.slowdown_percentile(99.0) == 0.0
+        assert stats.mean_slowdown() == 0.0
+
+    def test_shared_streaming_surface(self):
+        # The metric surface StreamingFlowStats mirrors (see repro.results).
+        stats = FlowStats()
+        stats.add(self._record(1, 2.0))
+        stats.add(self._record(2, 4.0))
+        stats.add(self._record(3, 99.0, incast=True))
+        assert list(stats.iter_records()) == stats.records
+        assert stats.mean_slowdown() == pytest.approx(3.0)
+        assert stats.slowdown_percentile(100.0) == 4.0
+        assert stats.slowdown_percentile(100.0, include_incast=True) == 99.0
 
 
 class TestPercentile:
