@@ -38,7 +38,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import fig5a_configs
 from repro.sim import units
-from repro.sim.engine import Simulator
+from repro.sim.engine import ENGINE_BACKEND, Simulator
 from repro.sim.flow import reset_flow_ids
 from repro.results import InMemorySink
 
@@ -69,6 +69,21 @@ def _count_packets(topo) -> int:
             meter = iface.tx.bytes
             total += meter.data_packets + meter.control_packets
     return total
+
+
+def _train_histogram(topo) -> Dict[str, int]:
+    """Aggregate {train_length: occurrences} over every egress port.
+
+    Only host uplinks can batch today (switch dequeue has side effects that
+    forbid trains), but summing every port keeps the probe honest if that
+    ever changes.  JSON object keys must be strings, hence ``str(length)``.
+    """
+    counts: Dict[int, int] = {}
+    for node in list(topo.all_switches()) + list(topo.hosts.values()):
+        for iface in node.interfaces:
+            for length, occurrences in iface.tx.train_counts.items():
+                counts[length] = counts.get(length, 0) + occurrences
+    return {str(length): counts[length] for length in sorted(counts)}
 
 
 #: Number of pending-event-depth probes spread over a run.  Each probe is one
@@ -120,6 +135,12 @@ def run_one(config: ExperimentConfig) -> Dict[str, float]:
         "wall_seconds": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
         "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        # Events per delivered packet is the event-reduction scorecard: it is
+        # machine-independent (pure simulation counts), so it *is* comparable
+        # across baselines — unlike events/sec, which additionally moves
+        # whenever this ratio moves (see docs/benchmarking.md).
+        "events_per_packet": events / packets if packets else 0.0,
+        "train_length_histogram": _train_histogram(topo),
         "mean_pending_events": (
             sum(depth_samples) / len(depth_samples) if depth_samples else 0.0
         ),
@@ -159,6 +180,7 @@ def run_benchmark(duration_us: int, repeats: int, scale: str = "tiny") -> Dict[s
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "repro_version": __version__,
+        "engine_backend": ENGINE_BACKEND,
     }
 
 
@@ -196,14 +218,17 @@ def main(argv=None) -> int:
         print(
             f"{scheme:>8}: {sample['events']:>9,} events in "
             f"{sample['wall_seconds']:.3f}s -> {sample['events_per_sec']:>12,.0f} ev/s, "
-            f"{sample['packets_per_sec']:>11,.0f} pkt/s "
-            f"(mean pending {sample['mean_pending_events']:,.0f}, "
-            f"bucket width {sample['calendar_stats']['bucket_width_ns']} ns)"
+            f"{sample['packets_per_sec']:>11,.0f} pkt/s, "
+            f"{sample['events_per_packet']:.3f} ev/pkt "
+            f"(mean pending {sample['mean_pending_events']:,.0f})"
         )
+        if sample["train_length_histogram"]:
+            print(f"{'':>10}trains: {sample['train_length_histogram']}")
     print(
         f"{'TOTAL':>8}: {report['total_events']:>9,} events in "
         f"{report['total_wall_seconds']:.3f}s -> {report['events_per_sec']:>12,.0f} ev/s, "
-        f"{report['packets_per_sec']:>11,.0f} pkt/s"
+        f"{report['packets_per_sec']:>11,.0f} pkt/s "
+        f"[engine backend: {report['engine_backend']}]"
     )
 
     args.json.parent.mkdir(parents=True, exist_ok=True)

@@ -275,3 +275,6 @@ class BfcEgressDiscipline:
 
     def backlog_packets(self) -> int:
         return self.scheduler.backlog_packets()
+
+    def has_backlog(self) -> bool:
+        return self.scheduler.has_backlog()

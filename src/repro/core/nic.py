@@ -50,11 +50,38 @@ class BfcNicScheduler(NicScheduler):
 
     # -- pause frames -------------------------------------------------------------
 
-    def on_bloom(self, packet: Packet) -> None:
-        """Install the pause filter shipped by the ToR switch."""
+    def on_bloom(self, packet: Packet) -> bool:
+        """Install the pause filter shipped by the ToR switch.
+
+        Returns whether the new filter changes the pause state of any active
+        flow — ``False`` lets the host keep a committed packet train (the
+        scans that built it would decide identically under the new filter),
+        which matters because the ToR re-broadcasts its filter every Bloom
+        interval and most broadcasts repeat the previous pause set.
+        """
+        old_filter = self.pause_filter
+        old_memo = self._paused_memo
         self.pause_filter = packet.bloom_bits
         self.bloom_frames_received += 1
         self._paused_memo = {}
+        port = self.host._uplink_port
+        if port is None or not port._train:
+            return True  # nothing to preserve; answer conservatively
+        codec = self.codec
+        for fstate in self._flows.values():
+            vfid = fstate.cc_state.get("bfc_vfid")
+            if vfid is None:
+                vfid = fstate.key.vfid(self.config.num_vfids)
+                fstate.cc_state["bfc_vfid"] = vfid
+            if old_filter is None:
+                was_paused = False
+            else:
+                was_paused = old_memo.get(vfid)
+                if was_paused is None:
+                    was_paused = codec.contains(old_filter, vfid)
+            if self._flow_is_paused(fstate) != (was_paused or fstate.paused):
+                return True
+        return False
 
     # -- eligibility ----------------------------------------------------------------
 

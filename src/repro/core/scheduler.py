@@ -200,3 +200,6 @@ class BfcScheduler:
 
     def backlog_packets(self) -> int:
         return self._total_packets
+
+    def has_backlog(self) -> bool:
+        return self._total_packets > 0

@@ -462,6 +462,21 @@ def _aggregate_switch_counters(topo: Topology, switches=None) -> Dict[str, int]:
     return totals
 
 
+def _rollback_horizon_trains(topo: Topology) -> None:
+    """Unwind NIC packet trains committed past the final run horizon.
+
+    Per-packet operation never builds a packet whose serialization starts
+    after ``until`` (no event fires there), so harvested counters/meters
+    must not include such commitments — results stay byte-identical to a
+    ``nic_train_packets=1`` run.  Shard workers do the same before their
+    harvest (:func:`repro.shard.coordinator._harvest_shard`).
+    """
+    for host in topo.hosts.values():
+        port = host._uplink_port
+        if port is not None and port._train:
+            port.rollback_horizon()
+
+
 def _aggregate_host_counters(topo: Topology, hosts=None) -> Dict[str, int]:
     totals: Dict[str, int] = {}
     for host in topo.hosts.values() if hosts is None else hosts:
@@ -623,6 +638,7 @@ def run_experiment(
     )
 
     sim.run(until=config.total_duration_ns(), max_events=config.max_events)
+    _rollback_horizon_trains(topo)
 
     for flow in trace:
         sink.on_flow_record(recorder.record(flow))

@@ -4,20 +4,21 @@ Every cut link of a partition is replaced, on the transmitting side, by a
 :class:`BoundaryChannel`.  The egress port still serializes the packet at the
 link rate (so contention, pausing and byte meters behave exactly as in a
 single-process run); only the *delivery* changes: instead of posting a local
-``peer.receive`` event ``delay_ns`` in the future, the port hands the packet
-to the channel **at departure time**, which serializes it to a plain-tuple
-wire format and buffers it in the shard's outbox.  At the next conservative
-barrier the coordinator routes every buffered packet to the shard owning the
-destination node, where it is re-injected as a ``node.receive`` event at the
-original arrival time ``departure + delay_ns``.
+``peer.receive`` event in the future, the port hands the packet to the
+channel **at commit time** (the fused engine commits a transmission at
+dequeue), which serializes it to a plain-tuple wire format and buffers it in
+the shard's outbox.  At the next conservative barrier the coordinator routes
+every buffered packet to the shard owning the destination node, where it is
+re-injected as a ``node.receive`` event at the original arrival time
+``commit + serialization + delay_ns``.
 
 The adapter plugs into :class:`~repro.sim.port.EgressPort` without touching
 its hot path: the port's ``_post`` alias is wrapped so the delivery post the
-port issues at transmission end runs the capture *inline* (no engine event)
-while every other post goes through unchanged.  Running inside the
-transmission-done event means ``sim.now`` and the current ancestry registers
-are exactly the origin chain the single-process peer-delivery post would
-carry.
+port issues at commit runs the capture *inline* (no engine event), with the
+post's own delay forwarded, while every other post goes through unchanged.
+Running inside the kick event means ``sim.now`` and the current ancestry
+registers are exactly the origin chain the single-process peer-delivery post
+would carry.
 
 Wire format: packets cross the process boundary as tuples of primitives (no
 pickled simulator objects), and each worker interns :class:`FlowKey` objects
@@ -128,21 +129,22 @@ class BoundaryChannel:
         self.dest_iface = dest_iface
         self.outbox = outbox
 
-    def receive(self, packet: Packet, iface_index: int) -> None:
-        """Capture one transmitted packet (called at its departure instant).
+    def receive(self, delay_ns: int, packet: Packet, iface_index: int) -> None:
+        """Capture one transmitted packet (called at its commit instant).
 
-        Runs inline during the port's transmission-done event, so ``sim.now``
-        is the departure time and ``(now, cur ancestry)`` is exactly the
-        origin chain the real peer-delivery post carries in a single-process
-        run: departure, serialization start, and two further upstream
-        scheduling instants.
+        Runs inline during the port's kick event (the fused engine commits a
+        transmission — meters, hooks and the delivery post — at dequeue
+        time), so ``sim.now`` is the serialization start and ``delay_ns`` is
+        the delivery post's own delay (serialization + propagation): the
+        arrival is ``now + delay_ns``, and ``(now, cur ancestry)`` is exactly
+        the origin chain the single-process peer-delivery post would carry.
         """
         sim = self.sim
         now = sim.now
         self.outbox.append(
             (
                 self.dest_shard,
-                now + self.delay_ns,
+                now + delay_ns,
                 (now, sim._cur_origin, sim._cur_parent, sim._cur_parent2),
                 self.dest_node,
                 self.dest_iface,
@@ -180,15 +182,20 @@ def attach_boundaries(
                 dest_iface=port.peer_iface,
                 outbox=outbox,
             )
-            # The delivery post in EgressPort._transmission_done runs the
-            # capture inline (no engine event); the real propagation delay is
-            # re-applied by the receiving shard's injection.  Transmission
-            # scheduling and every other post pass through untouched.  One
+            # The fused delivery post in EgressPort.kick runs the capture
+            # inline (no engine event); its delay — serialization plus
+            # propagation — is forwarded so the capture computes the true
+            # arrival time.  Every other post passes through untouched.  One
             # shared bound method: the wrapper recognizes the capture by
             # identity.
             capture = channel.receive
             port._peer_receive = capture
             port._post = _make_boundary_post(sim.post, capture)
+            # Packet trains post deliveries via sim.schedule (they need
+            # cancellable handles), which would bypass the capture; no
+            # partition strategy cuts a host uplink, but disable trains on
+            # rewired ports outright so the invariant is structural.
+            port._train_next = None
             rewired += 1
     return outbox, rewired
 
@@ -198,7 +205,7 @@ def _make_boundary_post(sim_post, capture) -> Callable:
 
     def boundary_post(delay_ns, callback, *args):
         if callback is capture:
-            capture(*args)
+            capture(delay_ns, *args)
         else:
             sim_post(delay_ns, callback, *args)
 

@@ -207,7 +207,12 @@ def _harvest_shard(
         _aggregate_host_counters,
         _aggregate_switch_counters,
         _collect_bfc_stats,
+        _rollback_horizon_trains,
     )
+
+    # Keep shard counters byte-identical to the serial harvest: unwind any
+    # NIC train commitments that extend past the final run horizon.
+    _rollback_horizon_trains(topo)
 
     local_switches = [s for s in topo.all_switches() if shard_of[s.name] == shard_id]
     counters = _aggregate_switch_counters(topo, local_switches)

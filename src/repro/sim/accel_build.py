@@ -1,0 +1,107 @@
+"""On-demand build/load of the ``_accelcore`` C extension.
+
+The accel engine backend (:mod:`repro.sim.engine_accel`) is opt-in and must
+never be a hard dependency: this module compiles ``_accelcore.c`` with the
+host C compiler the first time it is needed (and whenever the source is newer
+than the built object), and degrades to ``None`` — loudly, via a
+``RuntimeWarning`` from the backend selector — when no toolchain is
+available.  No third-party packaging machinery is involved: a CPython
+extension on this platform is one position-independent shared object
+compiled against the interpreter headers, so a direct compiler invocation is
+both sufficient and far more robust than driving setuptools programmatically
+inside an application.
+
+The built object lands next to the source as ``_accelcore<EXT_SUFFIX>``
+(git-ignored), so one build serves every later run of the same interpreter
+ABI.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import shutil
+import subprocess
+import sysconfig
+from pathlib import Path
+from typing import Optional
+
+_SIM_DIR = Path(__file__).resolve().parent
+_SOURCE = _SIM_DIR / "_accelcore.c"
+
+#: Human-readable reason the last :func:`load` returned ``None`` (shown in
+#: the backend-selection warning and the CI skip annotation).
+last_error: Optional[str] = None
+
+
+def _built_path() -> Path:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return _SIM_DIR / f"_accelcore{suffix}"
+
+
+def _compiler() -> Optional[str]:
+    cc_var = sysconfig.get_config_var("CC") or ""
+    for candidate in ([cc_var.split()[0]] if cc_var else []) + ["cc", "gcc", "clang"]:
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def build(force: bool = False) -> Optional[Path]:
+    """Compile the extension if needed; return the shared object path.
+
+    Returns ``None`` (and records :data:`last_error`) when the source is
+    missing, no C compiler exists, or the compile fails — callers fall back
+    to the pure-Python engine.
+    """
+    global last_error
+    target = _built_path()
+    if not _SOURCE.exists():
+        last_error = f"source not found: {_SOURCE}"
+        return None
+    if (
+        not force
+        and target.exists()
+        and target.stat().st_mtime >= _SOURCE.stat().st_mtime
+    ):
+        return target
+    cc = _compiler()
+    if cc is None:
+        last_error = "no C compiler (cc/gcc/clang) on PATH"
+        return None
+    include_dir = sysconfig.get_paths()["include"]
+    cmd = [
+        cc,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        f"-I{include_dir}",
+        str(_SOURCE),
+        "-o",
+        str(target),
+    ]
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        last_error = (
+            f"compile failed ({' '.join(cmd)}):\n{result.stderr.strip()[-2000:]}"
+        )
+        return None
+    last_error = None
+    return target
+
+
+def load():
+    """Build (if needed) and import ``_accelcore``; ``None`` on any failure."""
+    global last_error
+    target = build()
+    if target is None:
+        return None
+    try:
+        spec = importlib.util.spec_from_file_location("repro.sim._accelcore", target)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    except Exception as exc:  # pragma: no cover - ABI mismatch, corrupt .so
+        last_error = f"import of built extension failed: {exc!r}"
+        return None
+    last_error = None
+    return module

@@ -157,6 +157,9 @@ class FifoDiscipline:
     def backlog_packets(self) -> int:
         return len(self._queue)
 
+    def has_backlog(self) -> bool:
+        return bool(self._queue)
+
 
 class SfqDiscipline:
     """Stochastic fair queueing: hash flows onto ``num_queues`` DRR queues."""
@@ -205,6 +208,9 @@ class SfqDiscipline:
 
     def backlog_packets(self) -> int:
         return self._packets
+
+    def has_backlog(self) -> bool:
+        return self._packets > 0
 
     def queue_backlog_bytes(self, qid: int) -> int:
         return self._queue_bytes[qid]
@@ -262,6 +268,9 @@ class IdealFqDiscipline:
 
     def backlog_packets(self) -> int:
         return self._packets
+
+    def has_backlog(self) -> bool:
+        return self._packets > 0
 
     def occupied_queues(self) -> int:
         return len(self._queues)

@@ -153,15 +153,18 @@ class Simulator:
     def __init__(self, seed: int = 1) -> None:
         self.now: int = 0
         self._seq: int = 0
-        #: Scheduling ancestry (origin, then two ancestor origins) of the
+        #: Scheduling ancestry (origin, then three ancestor origins) of the
         #: event that is currently executing; new events inherit
         #: ``(_cur_origin, _cur_parent, _cur_parent2)`` as their
         #: ``(parent, parent2, parent3)``.  Read by the sharded runtime's
-        #: boundary capture.  (The executing event's own ``parent3`` is never
-        #: needed by anyone, so no register is kept for it.)
+        #: boundary capture, and (all four levels) by the egress port's
+        #: train truncation, which replays the engine's same-instant total
+        #: order to decide whether an invalidating event beats a committed
+        #: packet to a serialization boundary.
         self._cur_origin: int = 0
         self._cur_parent: int = 0
         self._cur_parent2: int = 0
+        self._cur_parent3: int = 0
         self._cancelled: set = set()
         self._rng = random.Random(seed)
         self._events_processed: int = 0
@@ -572,6 +575,7 @@ class Simulator:
     def calendar_stats(self) -> dict:
         """Introspection snapshot of the calendar geometry (for tests/tools)."""
         return {
+            "backend": "pure",
             "bucket_width_ns": 1 << self._shift,
             "shift": self._shift,
             "num_buckets": self._nbuckets,
@@ -685,6 +689,7 @@ class Simulator:
                 self._cur_origin = origin
                 self._cur_parent = parent
                 self._cur_parent2 = parent2
+                self._cur_parent3 = parent3
                 callback(*args)
                 processed += 1
         finally:
@@ -709,3 +714,52 @@ class Simulator:
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains (or ``max_events`` is hit)."""
         return self.run(until=None, max_events=max_events)
+
+
+#: Canonical name for the calendar-queue reference implementation; tests
+#: that poke calendar geometry should use this so they keep meaning "the
+#: pure engine" even when the module-level ``Simulator`` is rebound below.
+PureSimulator = Simulator
+
+
+def _select_backend() -> str:
+    """Resolve REPRO_ENGINE to the backend every simulation will use.
+
+    ``accel`` swaps the module-level :data:`Simulator` name for the compiled
+    backend (:class:`repro.sim.engine_accel.AccelSimulator`); both produce
+    byte-identical event orderings, so this is purely a speed knob.  Any
+    failure to build/load the C extension falls back to pure with a
+    ``RuntimeWarning`` rather than an error — the accel backend is opt-in
+    and never a hard dependency.
+    """
+    global Simulator
+    import os
+    import warnings
+
+    choice = os.environ.get("REPRO_ENGINE", "pure").strip().lower()
+    if choice in ("", "pure"):
+        return "pure"
+    if choice != "accel":
+        warnings.warn(
+            f"REPRO_ENGINE={choice!r} is not a known backend "
+            "(expected 'pure' or 'accel'); using pure",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "pure"
+    from . import engine_accel
+
+    if engine_accel.unavailable_reason is not None:
+        warnings.warn(
+            "REPRO_ENGINE=accel requested but the compiled engine is "
+            f"unavailable ({engine_accel.unavailable_reason}); using pure",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "pure"
+    Simulator = engine_accel.AccelSimulator
+    return "accel"
+
+
+#: Which backend the module-level ``Simulator`` name resolves to.
+ENGINE_BACKEND = _select_backend()

@@ -174,8 +174,10 @@ class Switch(Node):
             return
         values = self.counters.values
         values["forwarded_packets"] += 1
-        if not tx.busy:
-            tx.kick()
+        # Unconditional: a committed (busy) port arms its own wake-up at the
+        # commit horizon — without transmission-done events, a packet admitted
+        # mid-transmission would otherwise strand until the next notify.
+        tx.kick()
         if self.pfc.enabled:
             self._check_pfc_pause(in_index)
 

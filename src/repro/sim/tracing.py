@@ -183,10 +183,11 @@ def attach_flow_probe(
 
     original_build = sender.build_data_packet
 
-    def traced_build(fstate):
-        packet = original_build(fstate)
+    def traced_build(fstate, at_ns=None):
+        packet = original_build(fstate, at_ns=at_ns)
         if watched is None or packet.flow_id in watched:
-            trace.record(sender.sim.now, "nic.tx", sender.name, packet)
+            time_ns = sender.sim.now if at_ns is None else at_ns
+            trace.record(time_ns, "nic.tx", sender.name, packet)
         return packet
 
     sender.build_data_packet = traced_build  # type: ignore[method-assign]

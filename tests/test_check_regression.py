@@ -14,9 +14,9 @@ check_regression = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(check_regression)
 
 
-def report(**eps):
+def report(**pps):
     return {
-        "schemes": {name: {"events_per_sec": value} for name, value in eps.items()}
+        "schemes": {name: {"packets_per_sec": value} for name, value in pps.items()}
     }
 
 

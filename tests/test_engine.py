@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import PureSimulator, SimulationError, Simulator
 
 
 class TestScheduling:
@@ -257,6 +257,13 @@ class TestDeterminism:
 
 class TestCalendarQueue:
     """Edge cases of the calendar-queue scheduler (ring + overflow heap)."""
+
+    @pytest.fixture
+    def sim(self):
+        # These tests assert on calendar geometry (bucket widths, overflow
+        # promotion, retunes), which only the pure backend has — pin it so
+        # the class keeps testing the calendar under REPRO_ENGINE=accel.
+        return PureSimulator(seed=42)
 
     def test_bucket_width_resize_mid_run(self, sim):
         """A dense event stream must retune the bucket width while running."""

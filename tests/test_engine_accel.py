@@ -1,0 +1,260 @@
+"""Tests for the compiled engine backend (``_accelcore`` + AccelSimulator).
+
+The accel backend's whole contract is *byte-identical behaviour* to the pure
+calendar-queue engine — same event order, same clock/ancestry bookkeeping,
+same cancellation and stop semantics — at a higher events/sec.  These tests
+pin the contract three ways:
+
+* EventHeap unit tests against the engine's 6-key total order,
+* randomized storms replayed on both backends and compared step for step,
+* one golden-records scheme recomputed in a ``REPRO_ENGINE=accel``
+  subprocess and compared byte-for-byte against the committed fixture.
+
+When no C toolchain is available the whole module skips — loudly, with the
+build error in the skip reason — and the pure engine remains the tested
+default everywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import accel_build
+from repro.sim.engine import PureSimulator, SimulationError
+
+try:
+    from repro.sim.engine_accel import AccelSimulator, unavailable_reason
+except Exception as exc:  # pragma: no cover - import itself should not fail
+    AccelSimulator, unavailable_reason = None, repr(exc)
+
+if unavailable_reason is not None:  # pragma: no cover - toolchain-less hosts
+    pytest.skip(
+        f"accel engine backend unavailable: {unavailable_reason}",
+        allow_module_level=True,
+    )
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SUBPROCESS_ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+    ),
+}
+
+
+def _heap():
+    module = accel_build.load()
+    assert module is not None, accel_build.last_error
+    return module.EventHeap()
+
+
+class TestEventHeap:
+    def test_orders_by_six_key_lexicographic(self):
+        heap = _heap()
+        entries = [
+            (50, 0, 0, 0, 0, 3),
+            (50, 0, 0, 0, 0, 1),  # same time: seq breaks the tie
+            (10, 9, 9, 9, 9, 7),
+            (50, 0, 0, 0, 1, 0),  # same time, later parent2
+        ]
+        for entry in entries:
+            heap.insert(*entry, (lambda: None), ())
+        popped = [heap.pop()[:6] for _ in range(len(entries))]
+        assert popped == sorted(entries)
+        assert heap.peek_time() is None
+
+    def test_len_and_peek(self):
+        heap = _heap()
+        assert len(heap) == 0 and heap.peek_time() is None
+        heap.insert(42, 0, 0, 0, 0, 0, (lambda: None), ())
+        assert len(heap) == 1 and heap.peek_time() == 42
+
+    def test_compact_drops_cancelled_seqs(self):
+        heap = _heap()
+        for seq in range(10):
+            heap.insert(seq, 0, 0, 0, 0, seq, (lambda: None), ())
+        heap.compact({2, 5, 9, 77})  # 77 never inserted: ignored
+        assert len(heap) == 7
+        assert [heap.pop()[5] for _ in range(7)] == [0, 1, 3, 4, 6, 7, 8]
+
+    def test_growth_beyond_initial_capacity(self):
+        heap = _heap()
+        order = random.Random(3).sample(range(5000), 5000)
+        for seq in order:
+            heap.insert(seq, 0, 0, 0, 0, seq, (lambda: None), ())
+        assert len(heap) == 5000
+        assert [heap.pop()[0] for _ in range(5000)] == list(range(5000))
+
+    def test_insert_rejects_non_tuple_args(self):
+        heap = _heap()
+        with pytest.raises(TypeError):
+            heap.insert(0, 0, 0, 0, 0, 0, (lambda: None), [1, 2])
+
+
+def _storm(sim, seed: int, n: int = 400):
+    """A deterministic scheduling storm exercising every scheduling path."""
+    rng = random.Random(seed)
+    log = []
+    handles = {}
+
+    def fire(tag):
+        log.append((sim.now, tag))
+        if rng.random() < 0.4:
+            sim.schedule(rng.randint(0, 50), fire, tag * 31 + 1)
+        if rng.random() < 0.2:
+            sim.post(rng.randint(0, 30), fire, tag * 17 + 2)
+        if rng.random() < 0.15 and handles:
+            handles.pop(next(iter(handles))).cancel()
+
+    for i in range(n):
+        t = rng.randint(0, 2000)
+        if i % 3 == 0:
+            handles[i] = sim.schedule_at(t, fire, i)
+        else:
+            sim.schedule_at(t, fire, i)
+    sim.run(until=1500)
+    sim.run_until_idle()
+    return log, sim.now, sim.events_processed
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_storm_replays_identically(self, seed):
+        pure = _storm(PureSimulator(seed=5), seed)
+        accel = _storm(AccelSimulator(seed=5), seed)
+        assert pure == accel
+
+    def test_until_put_back_semantics(self):
+        """An event beyond `until` stays queued and fires on the next run."""
+        for sim in (PureSimulator(seed=1), AccelSimulator(seed=1)):
+            fired = []
+            sim.schedule(100, fired.append, "late")
+            assert sim.run(until=50) == 0
+            assert fired == [] and sim.now == 50 and sim.pending_events() == 1
+            assert sim.next_event_time() == 100
+            sim.run_until_idle()
+            assert fired == ["late"] and sim.now == 100
+
+    def test_max_events_cap_matches(self):
+        for sim in (PureSimulator(seed=1), AccelSimulator(seed=1)):
+            fired = []
+            for i in range(10):
+                sim.schedule(i + 1, fired.append, i)
+            assert sim.run(until=1000, max_events=4) == 4
+            assert fired == [0, 1, 2, 3]
+            # The cap stopped the run: the clock must NOT jump to `until`.
+            assert sim.now == 4
+
+    def test_exception_counts_only_completed_events(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        for sim in (PureSimulator(seed=1), AccelSimulator(seed=1)):
+            sim.schedule(1, lambda: None)
+            sim.schedule(2, boom)
+            with pytest.raises(RuntimeError):
+                sim.run_until_idle()
+            assert sim.events_processed == 1
+            assert not sim._running  # guard must be released on the error path
+
+    def test_reentrant_run_raises(self):
+        sim = AccelSimulator(seed=1)
+        sim.schedule(1, lambda: sim.run(until=10))
+        with pytest.raises(SimulationError):
+            sim.run_until_idle()
+
+    def test_schedule_boundary_path(self):
+        sim = AccelSimulator(seed=1)
+        fired = []
+        sim.schedule_boundary(10, (4, 3, 2, 1), fired.append, "b")
+        sim.schedule(5, fired.append, "a")
+        sim.run_until_idle()
+        assert fired == ["a", "b"]
+
+    def test_ancestry_keys_propagate(self):
+        """The C loop must publish origin/parent chains exactly like pure."""
+
+        def capture(sim, log):
+            log.append((sim.now, sim._cur_origin, sim._cur_parent, sim._cur_parent2))
+            if len(log) < 3:
+                sim.schedule(10, capture, sim, log)
+
+        logs = []
+        for sim in (PureSimulator(seed=1), AccelSimulator(seed=1)):
+            log = []
+            sim.schedule(5, capture, sim, log)
+            sim.run_until_idle()
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_calendar_stats_reports_backend(self):
+        assert PureSimulator(seed=1).calendar_stats()["backend"] == "pure"
+        assert AccelSimulator(seed=1).calendar_stats()["backend"] == "accel"
+
+    def test_cancellation_compaction_threshold(self):
+        sim = AccelSimulator(seed=1)
+        handles = [sim.schedule(1000 + i, lambda: None) for i in range(70)]
+        for handle in handles[:64]:
+            handle.cancel()
+        # The 64th cancel hits the threshold (64 >= 64, 128 > 70 pending):
+        # the heap is compacted and the cancelled set cleared.
+        assert len(sim._cancelled) == 0
+        assert sim.pending_events() == 6
+
+
+class TestBackendSelection:
+    def _run(self, code: str, env_extra: dict) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**SUBPROCESS_ENV, **env_extra},
+            cwd=REPO_ROOT,
+        )
+
+    def test_env_var_selects_accel(self):
+        probe = (
+            "from repro.sim.engine import ENGINE_BACKEND, Simulator;"
+            "print(ENGINE_BACKEND, Simulator.__name__)"
+        )
+        result = self._run(probe, {"REPRO_ENGINE": "accel"})
+        assert result.stdout.split() == ["accel", "AccelSimulator"], result.stderr
+        result = self._run(probe, {"REPRO_ENGINE": "pure"})
+        assert result.stdout.split() == ["pure", "Simulator"], result.stderr
+
+    def test_unknown_backend_warns_and_falls_back(self):
+        result = self._run(
+            "import warnings; warnings.simplefilter('error');"
+            "import repro.sim.engine",
+            {"REPRO_ENGINE": "warpdrive"},
+        )
+        assert result.returncode != 0
+        assert "not a known backend" in result.stderr
+
+    def test_golden_scheme_byte_identical_under_accel(self):
+        """BFC golden records recomputed under accel == committed fixture."""
+        code = (
+            "import json;"
+            "from golden_kernel import canonical_records, golden_configs;"
+            "from repro.experiments.runner import run_experiment;"
+            "from repro.sim.engine import ENGINE_BACKEND;"
+            "assert ENGINE_BACKEND == 'accel', ENGINE_BACKEND;"
+            "rec = canonical_records(run_experiment(golden_configs()['BFC']));"
+            "print(json.dumps(rec, sort_keys=True, separators=(',', ':')))"
+        )
+        result = self._run(code, {"REPRO_ENGINE": "accel"})
+        assert result.returncode == 0, result.stderr
+        fixture = json.loads(
+            (REPO_ROOT / "tests" / "golden" / "kernel_records.json").read_text()
+        )
+        expected = json.dumps(
+            fixture["BFC"], sort_keys=True, separators=(",", ":")
+        )
+        assert result.stdout.strip() == expected

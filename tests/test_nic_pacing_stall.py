@@ -1,22 +1,16 @@
-"""Reproducer for the known ``NicScheduler._schedule_wakeup`` stale-handle bug.
+"""Regression test for the ``NicScheduler._schedule_wakeup`` stale-handle bug.
 
-ROADMAP.md documents this pre-existing (seed-kernel) bug: ``_arm_wakeup``
-keeps a reference to the last pacing wake-up event and skips re-arming when
-that handle's ``time`` is not later than the new deadline — but a *fired*
-handle is never cancelled (``cancelled`` is sticky-False) and its time lies
-in the past, so it always looks "good enough".  A flow blocked purely on
-pacing (congestion-control rate below line rate, no window) therefore gets
-exactly one wake-up and then stalls forever unless unrelated traffic kicks
-the port.
+The seed kernel's ``_arm_wakeup`` kept a reference to the last pacing
+wake-up event and skipped re-arming when that handle's ``time`` was not
+later than the new deadline — but a *fired* handle is never cancelled
+(``cancelled`` is sticky-False) and its time lies in the past, so it always
+looked "good enough".  A flow blocked purely on pacing (congestion-control
+rate below line rate, no window) therefore got exactly one wake-up and then
+stalled forever unless unrelated traffic kicked the port.
 
-The fix (treat ``handle.time <= now`` as dead) changes records broadly, so
-it is reserved for its own PR that regenerates
-``tests/golden/kernel_records.json``.  This test is the ready-made target:
-it is marked ``xfail(strict=True)``, so the fixing PR will see it XPASS and
-must drop the marker.
+The fix treats ``handle.time <= now`` as dead and re-arms; this test (a
+strict xfail until the fixing PR) now pins the repaired behaviour.
 """
-
-import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.flow import Flow, reset_flow_ids
@@ -46,12 +40,6 @@ def build_host_pair(cc_factory=None):
     return sim, sender, registry
 
 
-@pytest.mark.xfail(
-    strict=True,
-    reason="known seed-kernel bug: a fired pacing wake-up handle is treated "
-    "as still pending, so a lone rate-paced flow never gets a second "
-    "wake-up (fix reserved for a golden-regeneration PR, see ROADMAP.md)",
-)
 def test_lone_paced_flow_completes():
     sim, sender, registry = build_host_pair(lambda rate: QuarterRateControl(rate))
     flow = Flow(src=0, dst=1, size=10_000, start_ns=0)

@@ -130,12 +130,14 @@ class TestBoundaryChannel:
             dest_iface=4, outbox=outbox,
         )
         packet = make_data_packet()
-        sim.schedule(70, channel.receive, packet, 4)
+        # The capture receives the delivery post's own delay (serialization
+        # 800 + propagation 1000) and computes arrival from it.
+        sim.schedule(70, channel.receive, 800 + 1000, packet, 4)
         sim.run()
         ((dest, arrival, ancestry, node, iface, wire),) = outbox
         assert (dest, node, iface) == (1, "tor1", 4)
-        assert arrival == 70 + 1000
-        assert ancestry[0] == 70  # departure instant
+        assert arrival == 70 + 800 + 1000
+        assert ancestry[0] == 70  # commit (serialization start) instant
         assert packet_from_wire(wire, {}).flow_id == packet.flow_id
 
     def test_attach_boundaries_rewires_only_local_cut_ports(self):
