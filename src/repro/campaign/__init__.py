@@ -2,12 +2,24 @@
 
 This is the public high-level API of the reproduction.  A campaign expands a
 {scheme x sweep x repeats} grid into named trials, runs them through a
-pluggable executor (serial, or a process pool for CPU-bound fan-out) and
-returns a :class:`ResultSet` of tidy per-trial records with aggregation
-helpers and JSONL persistence.  See :mod:`repro.campaign.core` for examples.
+pluggable executor — serial, a process pool, the resource-aware scheduler,
+or a fault-tolerant distributed coordinator dispatching to remote
+:class:`WorkerAgent` services — and returns a :class:`ResultSet` of tidy
+per-trial records with aggregation helpers and JSONL persistence.  A run can
+land in a :class:`Workspace`: one timestamped folder with the JSONL, cost
+cache, collected artifacts, a provenance manifest and a Markdown report.
+See :mod:`repro.campaign.core` for examples, ``docs/campaigns.md`` and
+``docs/distributed.md`` for the guides.
 """
 
 from .core import Campaign, Trial
+from .distributed import (
+    DistributedError,
+    DistributedExecutor,
+    WorkerAgent,
+    WorkerClient,
+    load_workers_file,
+)
 from .executors import (
     Executor,
     ParallelExecutor,
@@ -31,6 +43,7 @@ from .scheduling import (
     resolve_cores,
     trial_slots,
 )
+from .workspace import Workspace, render_report
 
 __all__ = [
     "Campaign",
@@ -40,6 +53,13 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "ScheduledExecutor",
+    "DistributedExecutor",
+    "DistributedError",
+    "WorkerAgent",
+    "WorkerClient",
+    "load_workers_file",
+    "Workspace",
+    "render_report",
     "WORKERS_ENV",
     "CORES_ENV",
     "default_workers",

@@ -536,6 +536,7 @@ class Campaign:
         save: Optional[object] = None,
         resume: Optional[object] = None,
         keep_results: bool = True,
+        workspace: Optional[object] = None,
     ) -> ResultSet:
         """Execute the campaign and return its :class:`ResultSet`.
 
@@ -560,7 +561,34 @@ class Campaign:
         process-pool pipe): the returned set carries tidy records only, which
         is all that record/JSONL consumers need and much lighter for large
         sweeps.
+
+        ``workspace`` lands the whole run in an experiment workspace: pass a
+        root directory (a fresh timestamped run folder is created under it)
+        or a ready :class:`~repro.campaign.workspace.Workspace` (its existing
+        ``results.jsonl``, if any, is resumed from — the coordinator-restart
+        path).  The workspace's JSONL becomes the ``save`` target (passing
+        ``save``/``resume`` alongside is ambiguous and rejected), and after
+        the final persist the workspace collects per-trial artifacts and
+        writes ``manifest.json`` and ``report.md`` — see
+        ``docs/distributed.md``.
         """
+        ws = None
+        if workspace is not None:
+            from .workspace import Workspace
+
+            if save is not None or resume is not None:
+                raise CampaignError(
+                    "pass workspace=... or save=/resume=..., not both "
+                    "(the workspace owns its results.jsonl)"
+                )
+            ws = (
+                workspace
+                if isinstance(workspace, Workspace)
+                else Workspace.create(workspace, self.name)
+            )
+            save = ws.results_path
+            if ws.results_path.exists():
+                resume = ws.results_path
         trials = self.trials()
         done, stale, pending = self._split_resume(trials, resume)
         target = save if save is not None else resume
@@ -577,6 +605,14 @@ class Campaign:
             cores=cores,
             cost_cache=cost_cache,
         )
+        # An explicit executor that understands cost caches but was built
+        # without one gets the cache riding the save target, so distributed
+        # runs derive timeouts (and pack waves) from measured costs with no
+        # extra plumbing.  Attach-only: never replaces a caller's cache.
+        if target is not None and getattr(chosen, "cost_cache", "absent") is None:
+            from .scheduling import CostCache
+
+            chosen.cost_cache = CostCache.for_results_file(target)
 
         def persist(result_set: ResultSet) -> None:
             if target is None:
@@ -634,4 +670,14 @@ class Campaign:
         # the pruned/merged state, and after batched execution this restores
         # the canonical (trial-order) record order on disk.
         persist(merged)
+        if ws is not None:
+            plan_dict = None
+            if hasattr(chosen, "plan"):
+                try:
+                    plan_dict = chosen.plan(trials).to_dict()
+                except Exception:
+                    plan_dict = None  # manifest provenance is best-effort
+            ws.finalize(
+                merged, campaign=self.name, executor=chosen, plan=plan_dict
+            )
         return merged

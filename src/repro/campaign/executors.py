@@ -10,7 +10,11 @@ produces records bit-identical to ``SerialExecutor``, just faster.
 ``ParallelExecutor`` counts *trials*; for campaigns whose trials differ in
 resource footprint (sharded trials occupy ``shards`` processes each), the
 resource-aware :class:`~repro.campaign.scheduling.ScheduledExecutor`
-(``Campaign.run(cores=...)``) packs trials onto a CPU-slot budget instead.
+(``Campaign.run(cores=...)``) packs trials onto a CPU-slot budget instead,
+and :class:`~repro.campaign.distributed.DistributedExecutor` extends the
+same planning across machines with fault-tolerant dispatch to worker
+agents.  All four run trials through :func:`execute_trial`, which is what
+makes their records interchangeable.
 """
 
 from __future__ import annotations
@@ -127,7 +131,9 @@ class Executor:
     to its degree of parallelism (the default batching is chunks of
     ``workers`` trials) or override :meth:`batches` outright, as the
     scheduling layer's :class:`~repro.campaign.scheduling.ScheduledExecutor`
-    does with its plan waves.
+    and the distributed coordinator's
+    :class:`~repro.campaign.distributed.DistributedExecutor` do with their
+    plan waves.
     """
 
     records_only: bool = False

@@ -35,12 +35,23 @@ common workflows need no Python code:
 ``repro topology info --scale tiny --figure fig9 --shards 2``
     Describe a scenario's topology (host/switch/link counts,
     oversubscription) and how it would be partitioned into shards.
+
+``repro worker serve --port 8421``
+    Run a distributed-campaign worker agent: a dumb HTTP service that
+    executes one trial at a time for a coordinator.  Point a coordinator at
+    a roster of these with ``repro campaign --workers-file hosts.txt``.
+
+``repro report results.jsonl``
+    Render the standard Markdown report (aggregate and p99-slowdown tables
+    per sweep axis) for any campaign JSONL — the same report a workspace
+    run (``--workspace``) writes automatically.  See ``docs/distributed.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -138,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write per-trial records to this JSONL file")
     campaign.add_argument("--resume", default=None, metavar="PATH",
                           help="JSONL file of a previous run; recorded trials are skipped")
+    campaign.add_argument("--workers-file", default=None, metavar="PATH",
+                          help="distribute trials over the worker agents listed in "
+                               "this file (one http://host:port per line, started "
+                               "with 'repro worker serve'); replaces --workers/--cores")
+    campaign.add_argument("--token", default=None,
+                          help="shared secret sent to workers (X-Repro-Token)")
+    campaign.add_argument("--workspace", default=None, metavar="DIR",
+                          help="land the run in a timestamped experiment workspace "
+                               "under DIR: results.jsonl + cost cache + artifacts + "
+                               "manifest.json + report.md (replaces --save/--resume)")
     campaign.add_argument("--json", action="store_true")
 
     figure = sub.add_parser("figure", help="run one of the paper's figures")
@@ -223,6 +244,32 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--workers", type=int, default=1,
                          help="process-pool size; >1 runs the schemes in parallel")
     compare.add_argument("--json", action="store_true")
+
+    worker = sub.add_parser(
+        "worker", help="run a distributed-campaign worker agent"
+    )
+    worker.add_argument("action", choices=["serve"],
+                        help="serve: accept and execute trials until stopped")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default loopback; bind a private "
+                             "network address to serve a remote coordinator)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="bind port (default 0: pick an ephemeral port "
+                             "and print it)")
+    worker.add_argument("--slots", type=int, default=1,
+                        help="CPU slots advertised to the coordinator's planner")
+    worker.add_argument("--token", default=None,
+                        help="require this X-Repro-Token on /run and /shutdown")
+
+    report = sub.add_parser(
+        "report",
+        help="render the Markdown report for a campaign JSONL file",
+    )
+    report.add_argument("results", help="campaign JSONL (from --save or a workspace)")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write the report here instead of stdout")
+    report.add_argument("--title", default=None,
+                        help="report title (default: the campaign name on record)")
     return parser
 
 
@@ -397,6 +444,26 @@ def cmd_campaign(args: argparse.Namespace, out) -> int:
         campaign.fixed(incast=args.incast[0])
     if args.cores is not None and args.workers != 1:
         raise CampaignError("pass --workers or --cores, not both")
+    executor = None
+    if args.workers_file is not None:
+        if args.cores is not None or args.workers != 1:
+            raise CampaignError(
+                "--workers-file dispatches to the remote roster; "
+                "--workers/--cores do not apply"
+            )
+        from repro.campaign import DistributedExecutor
+
+        executor = DistributedExecutor(args.workers_file, token=args.token)
+    workspace = None
+    if args.workspace is not None:
+        if args.save is not None or args.resume is not None:
+            raise CampaignError(
+                "pass --workspace or --save/--resume, not both "
+                "(the workspace owns its results.jsonl)"
+            )
+        from repro.campaign import Workspace
+
+        workspace = Workspace.create(args.workspace, args.name)
     if args.dry_run:
         if args.cores is None:
             # A plan preview describes scheduled execution; previewing one
@@ -410,18 +477,27 @@ def cmd_campaign(args: argparse.Namespace, out) -> int:
             print(f"Campaign {args.name!r} {plan.describe()}", file=out)
         return 0
     result_set = campaign.run(
-        workers=None if args.cores is not None else args.workers,
+        executor=executor,
+        workers=(
+            None
+            if args.cores is not None or executor is not None
+            else args.workers
+        ),
         cores=args.cores,
         save=args.save, resume=args.resume,
         keep_results=False,  # tables below only need the tidy records
+        workspace=workspace,
     )
     if args.json:
         json.dump([record.to_dict() for record in result_set], out, indent=2)
         print(file=out)
         return 0
-    parallelism = (
-        f"cores={args.cores}" if args.cores is not None else f"workers={args.workers}"
-    )
+    if executor is not None:
+        parallelism = f"distributed over {executor.workers} worker(s)"
+    elif args.cores is not None:
+        parallelism = f"cores={args.cores}"
+    else:
+        parallelism = f"workers={args.workers}"
     print(
         f"Campaign {args.name!r}: {len(result_set)} trials "
         f"({len(args.schemes)} schemes, loads {args.load}, "
@@ -460,6 +536,55 @@ def cmd_campaign(args: argparse.Namespace, out) -> int:
         )
     if args.save:
         print(f"records written to {args.save}", file=out)
+    if workspace is not None:
+        print(f"workspace: {workspace.run_dir}", file=out)
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace, out) -> int:
+    """``repro worker serve``: block serving trials until interrupted.
+
+    The "listening on <url>" line is printed (and flushed) before serving
+    starts, so orchestration — scripts, CI, the tests — can read the bound
+    address from stdout even with ``--port 0``.
+    """
+    from repro.campaign import WorkerAgent
+
+    agent = WorkerAgent(
+        host=args.host, port=args.port, token=args.token, slots=args.slots
+    )
+    host, port = agent.address
+    print(
+        f"repro worker listening on http://{host}:{port} "
+        f"(slots={args.slots}, pid={os.getpid()})",
+        file=out,
+    )
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        agent.stop()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    """``repro report``: the workspace report, for any campaign JSONL."""
+    from pathlib import Path
+
+    from repro.campaign import ResultSet
+    from repro.campaign.workspace import render_report
+
+    try:
+        result_set = ResultSet.load(args.results)
+    except OSError as exc:
+        raise CampaignError(f"cannot read {args.results}: {exc}") from exc
+    text = render_report(result_set, title=args.title)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"report written to {args.out}", file=out)
+    else:
+        print(text, file=out, end="")
     return 0
 
 
@@ -683,6 +808,8 @@ COMMANDS = {
     "compare": cmd_compare,
     "shard": cmd_shard,
     "topology": cmd_topology,
+    "worker": cmd_worker,
+    "report": cmd_report,
 }
 
 

@@ -25,7 +25,7 @@ from .sinks import (
     StreamingFlowStats,
     StreamingQueueSampler,
 )
-from .spill import SpillReader, SpillWriter
+from .spill import SpillReader, SpillWriter, pack_dir, unpack_dir
 
 __all__ = [
     "InMemorySink",
@@ -40,4 +40,6 @@ __all__ = [
     "StreamingFlowStats",
     "StreamingQueueSampler",
     "StreamingStats",
+    "pack_dir",
+    "unpack_dir",
 ]

@@ -233,3 +233,38 @@ def write_summary(run_dir: str, summary: Dict[str, object]) -> None:
         json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
         handle.write("\n")
     os.replace(tmp_path, path)
+
+
+def pack_dir(run_dir: str) -> Dict[str, bytes]:
+    """Read a spilled run directory into ``{relative path: file bytes}``.
+
+    The distributed campaign tier uses this to ship a worker's spilled
+    artifacts (``flows.jsonl``, index, summary — any file in the run dir)
+    back to the coordinator over the wire.  Paths use ``/`` separators so a
+    packed dir round-trips across platforms.
+    """
+    files: Dict[str, bytes] = {}
+    for root, _, names in sorted(os.walk(run_dir)):
+        for name in sorted(names):
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, run_dir).replace(os.sep, "/")
+            with open(path, "rb") as handle:
+                files[rel] = handle.read()
+    return files
+
+
+def unpack_dir(run_dir: str, files: Dict[str, bytes]) -> None:
+    """Materialize a :func:`pack_dir` payload at ``run_dir``.
+
+    Writes are idempotent (a worker sharing the coordinator's filesystem
+    just rewrites identical bytes).  Paths that would escape ``run_dir``
+    are rejected — the payload comes over the network.
+    """
+    base = os.path.abspath(run_dir)
+    for rel, data in files.items():
+        path = os.path.abspath(os.path.join(base, rel.replace("/", os.sep)))
+        if not path.startswith(base + os.sep):
+            raise ValueError(f"artifact path {rel!r} escapes {run_dir!r}")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(data)
