@@ -11,17 +11,26 @@ Measures :mod:`repro.shard` on two representative partitions:
   single-CPU container it mostly measures the synchronization + cache-
   alternation overhead that a multi-core machine turns into real speedup.
 
+Each sharded point runs under a synchronization mode (``--sync``): the
+default ``paired`` mode measures conservative and speculative (time-warp)
+sync back to back, recording the speculation counters — snapshots,
+rollbacks, re-executed events, barriers avoided — next to the barrier
+counts so the protocol trade is visible in one JSON.
+
 Honesty notes recorded in the JSON: on a 1-CPU machine (``cpu_count`` field)
 sharding cannot speed anything up — ``overhead_vs_serial`` is the honest
 cost; on >= 2 CPUs the same runs turn the per-shard event streams into
-parallel wall-clock progress.  Records are byte-identical to the
-single-process run either way (``tests/test_shard_determinism.py``).
+parallel wall-clock progress.  Speculation reduces *barriers* (the
+distributed-synchronization cost proxy) but pays for checkpoints and
+rollbacks in wall clock, which a single CPU never earns back.  Records are
+byte-identical to the single-process run in every mode
+(``tests/test_shard_determinism.py``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
-        --duration-us 200 --repeats 1 --json /tmp/shard.json
+        --duration-us 200 --repeats 1 --sync speculative --json /tmp/shard.json
 """
 
 from __future__ import annotations
@@ -64,12 +73,22 @@ def _scenarios(duration_us: int) -> Dict[str, Dict[str, object]]:
     }
 
 
-def _measure(config, shards: int) -> Dict[str, object]:
+#: ``paired`` (the default for JSON regeneration) measures every sharded
+#: point under conservative AND speculative sync back to back, so the
+#: barrier-count reduction and the 1-CPU wall overhead of time-warp come
+#: from the same throttling window.
+SYNC_CHOICES = ["paired", "conservative", "speculative", "adaptive"]
+
+
+def _measure(config, shards: int, sync: str) -> Dict[str, object]:
     started = time.monotonic()
-    result = run_experiment(replace(config, shards=shards))
+    result = run_experiment(
+        replace(config, shards=shards, shard_sync=sync)
+    )
     wall = time.monotonic() - started
     point = {
         "shards": shards,
+        "sync": sync,
         "wall_seconds": wall,
         "events": result.events_processed,
         "events_per_sec": result.events_processed / wall if wall > 0 else 0.0,
@@ -82,41 +101,70 @@ def _measure(config, shards: int) -> Dict[str, object]:
                 "strategy": stats["strategy"],
                 "window_ns": stats["window_ns"],
                 "cut_links": stats["cut_links"],
+                "sync_resolved": stats["sync"],
                 "barriers": stats["barriers"],
                 "boundary_packets": stats["boundary_packets"],
             }
         )
+        speculation = stats.get("speculation")
+        if speculation is not None:
+            point.update(
+                {
+                    "snapshots": speculation["snapshots"],
+                    "rollbacks": speculation["rollbacks"],
+                    "events_reexecuted": speculation["events_reexecuted"],
+                    "barriers_avoided": speculation["barriers_avoided"],
+                    "max_leap_used": speculation["max_leap_used"],
+                }
+            )
     return point
 
 
-def run_benchmark(duration_us: int, repeats: int) -> Dict[str, object]:
+def run_benchmark(
+    duration_us: int, repeats: int, sync: str = "paired"
+) -> Dict[str, object]:
+    sync_modes = ["conservative", "speculative"] if sync == "paired" else [sync]
     scenarios: Dict[str, object] = {}
     for name, spec in _scenarios(duration_us).items():
-        # Round-robin the repeats over the shard counts so each point's
+        # The serial baseline plus every (shards, sync) combination.
+        combos = [(1, "conservative")] + [
+            (shards, mode)
+            for shards in spec["shard_counts"]
+            if shards > 1
+            for mode in sync_modes
+        ]
+        # Round-robin the repeats over the combinations so each point's
         # best-of-N samples the same wall-clock windows: the container's CPU
         # throttling drifts over minutes, and only same-window ratios mean
         # anything.
-        best: Dict[int, Dict[str, object]] = {}
+        best: Dict[tuple, Dict[str, object]] = {}
         for _ in range(repeats):
-            for shards in spec["shard_counts"]:
-                point = _measure(spec["config"], shards)
+            for combo in combos:
+                point = _measure(spec["config"], *combo)
                 if (
-                    shards not in best
-                    or point["wall_seconds"] < best[shards]["wall_seconds"]
+                    combo not in best
+                    or point["wall_seconds"] < best[combo]["wall_seconds"]
                 ):
-                    best[shards] = point
-        points: List[Dict[str, object]] = [best[s] for s in spec["shard_counts"]]
+                    best[combo] = point
+        points: List[Dict[str, object]] = [best[combo] for combo in combos]
         for point in points:
-            print(
-                f"{name:>9} shards={point['shards']}: "
+            label = f"shards={point['shards']}"
+            if point["shards"] > 1:
+                label += f" sync={point['sync']}"
+            line = (
+                f"{name:>9} {label}: "
                 f"{point['wall_seconds']:.2f}s, "
                 f"{point['events_per_sec']:,.0f} ev/s"
-                + (
-                    f", {point['barriers']} barriers, window {point['window_ns']} ns"
-                    if "barriers" in point
-                    else ""
-                )
             )
+            if "barriers" in point:
+                line += f", {point['barriers']} barriers, window {point['window_ns']} ns"
+            if "rollbacks" in point:
+                line += (
+                    f", {point['snapshots']} snapshots, "
+                    f"{point['rollbacks']} rollbacks, "
+                    f"{point['barriers_avoided']} barriers avoided"
+                )
+            print(line)
         serial_wall = points[0]["wall_seconds"]
         for point in points[1:]:
             point["speedup_vs_serial"] = serial_wall / point["wall_seconds"]
@@ -131,12 +179,18 @@ def run_benchmark(duration_us: int, repeats: int) -> Dict[str, object]:
         "seed": BENCH_SEED,
         "scenarios": scenarios,
         "repeats": repeats,
+        "sync": sync,
         "note": (
             "On a 1-CPU machine overhead_vs_serial is the honest cost of the "
-            "conservative barriers plus cache alternation between resident "
+            "synchronization protocol plus cache alternation between resident "
             "shard simulations; wall-clock speedup requires >= 2 CPUs.  "
+            "Speculative (time-warp) sync trades fewer barriers "
+            "(barriers + barriers_avoided ~= the conservative barrier count) "
+            "for checkpoint/rollback work that a 1-CPU box pays in wall "
+            "clock; the barrier reduction is the distributed-cost proxy.  "
             "Records are byte-identical to the single-process run at every "
-            "shard count (tests/test_shard_determinism.py)."
+            "shard count and in every sync mode "
+            "(tests/test_shard_determinism.py)."
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -158,6 +212,13 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=2, help="take the best of N runs (default 2)"
     )
     parser.add_argument(
+        "--sync",
+        default="paired",
+        choices=SYNC_CHOICES,
+        help="shard sync mode to measure; 'paired' (default) measures "
+        "conservative and speculative back to back at each shard count",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=DEFAULT_JSON,
@@ -165,12 +226,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_benchmark(args.duration_us, args.repeats)
+    report = run_benchmark(args.duration_us, args.repeats, args.sync)
     for name, scenario in report["scenarios"].items():
         for point in scenario["points"]:
             if "overhead_vs_serial" in point:
                 print(
-                    f"{name:>9} shards={point['shards']}: "
+                    f"{name:>9} shards={point['shards']} sync={point['sync']}: "
                     f"speedup x{point['speedup_vs_serial']:.2f} "
                     f"(overhead {100 * point['overhead_vs_serial']:+.1f}% vs serial)"
                 )

@@ -15,6 +15,7 @@ not present in the most recently received pause filter.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from repro.sim.host import Host, NicScheduler, SenderFlowState
@@ -119,12 +120,35 @@ class BfcNicScheduler(NicScheduler):
         return count
 
 
+#: Configured NIC classes by config value, so repeated binding of the same
+#: configuration (e.g. every checkpoint restore in a speculative shard run)
+#: reuses one class instead of minting a new type per call.
+_CONFIGURED_CLASSES: dict = {}
+
+
+def _reduce_configured_nic_class(cls: type) -> tuple:
+    """Snapshot-pickle recipe for configured NIC classes.
+
+    The classes made by :func:`bfc_nic_class` are dynamic (not importable by
+    name), so :mod:`repro.shard.snapshot` pickles them through this hook:
+    reconstructing via the factory round-trips to the cached class for the
+    same config value.
+    """
+    return (bfc_nic_class, (cls.CONFIG,))
+
+
 def bfc_nic_class(config: BfcConfig) -> type:
     """A :class:`BfcNicScheduler` subclass bound to a specific configuration."""
+    key = dataclasses.astuple(config)
+    cached = _CONFIGURED_CLASSES.get(key)
+    if cached is not None:
+        return cached
 
     class _ConfiguredBfcNic(BfcNicScheduler):
         CONFIG = config
 
     _ConfiguredBfcNic.__name__ = "BfcNicScheduler"
     _ConfiguredBfcNic.__qualname__ = "BfcNicScheduler"
+    _ConfiguredBfcNic.__class_reduce__ = _reduce_configured_nic_class
+    _CONFIGURED_CLASSES[key] = _ConfiguredBfcNic
     return _ConfiguredBfcNic

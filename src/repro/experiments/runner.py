@@ -148,7 +148,9 @@ class ExperimentConfig:
       is simulated.
     * **Execution** — ``shards``/``shard_strategy``: ``shards > 1`` runs
       this one experiment space-parallel across OS processes with records
-      identical to the single-process run.  In a campaign, prefer
+      identical to the single-process run; ``shard_sync`` selects how the
+      shards synchronize (``conservative`` windows, ``speculative``
+      time-warp with rollback, or ``adaptive``).  In a campaign, prefer
       ``Campaign.run(cores=...)`` so sharded trials are scheduled onto the
       machine instead of oversubscribing it (``docs/campaigns.md``).
     """
@@ -179,6 +181,14 @@ class ExperimentConfig:
     #: synchronized time windows).  1 is the ordinary single-process run.
     shards: int = 1
     shard_strategy: str = "auto"
+    #: How the shard processes synchronize simulated time:
+    #: ``"conservative"`` — lock-step windows of the smallest cut-link delay
+    #: (never executes an event out of order); ``"speculative"`` — optimistic
+    #: time-warp execution with checkpoint/rollback (identical records,
+    #: fewer synchronization rounds on short-window partitions);
+    #: ``"adaptive"`` — picks per partition based on the window width.
+    #: See :mod:`repro.shard.speculative` and ``docs/determinism.md``.
+    shard_sync: str = "conservative"
 
     def total_duration_ns(self) -> int:
         drain = self.drain_ns if self.drain_ns > 0 else self.duration_ns // 2

@@ -1,0 +1,312 @@
+"""Checkpoint/restore of one shard's simulation world for time-warp.
+
+The speculative runtime (:mod:`repro.shard.speculative`) lets a shard
+execute past the conservative window and repairs mistakes by rolling the
+whole world back to an earlier checkpoint.  A checkpoint must therefore be
+*complete*: the engine's event entries (including calendar-queue geometry,
+the mid-serve side heap and the overflow heap), every component's mutable
+state (DRR deficits, Bloom/pause filters, per-flow congestion state, NIC
+train commitments, PFC meters), the flow trace, and the per-shard sampler.
+
+Completeness comes by construction rather than enumeration: the worker
+holds all of that behind one root object
+(:class:`repro.shard.coordinator._ShardWorld`) and a checkpoint captures
+the whole graph from that root.  Two kinds of objects are deliberately
+*shared* between the live world and every checkpoint instead of copied:
+
+* the immutable configuration graph (the :class:`ExperimentConfig` and its
+  nested parameter dataclasses, plus the :class:`PartitionSpec`) — never
+  mutated during a run, so sharing is safe and keeps checkpoints small;
+* the speculative runtime's cross-round message state (the
+  :class:`~repro.shard.speculative.SpeculativeInjector`) — in classic
+  time-warp terms the *input queue*, which must survive rollback: the log
+  of boundary packets the coordinator delivered is exactly what replay
+  re-injects.
+
+Two capture backends implement the same semantics:
+
+``pickle`` (default)
+    A :class:`pickle.Pickler` subclass serializes the world to a byte blob;
+    shared objects are emitted as *persistent IDs* (indices into the
+    context's shared-object list) so they are neither serialized nor
+    duplicated on restore.  Plain functions are interned into the shared
+    list on first sight — mirroring ``copy.deepcopy``'s atomic treatment of
+    functions — which makes the stateless congestion-control factory
+    lambdas held in host state snapshot-safe.  Dynamic classes (the
+    configured BFC NIC scheduler) opt in via a ``__class_reduce__`` class
+    attribute returning a ``(callable, args)`` reconstruction recipe.
+    Measured on the pod-split shard world this is ~3x faster to capture and
+    ~8x faster to restore than ``copy.deepcopy``.
+
+``deepcopy`` (fallback)
+    ``copy.deepcopy`` with the memo pre-seeded with the shared objects.
+    The context falls back to it automatically (with a ``RuntimeWarning``)
+    if a world contains something the pickler cannot handle, so exotic
+    component state degrades to slower snapshots instead of a crash.
+
+Restore materializes a *fresh* world graph either way, which makes a
+stored checkpoint reusable: rolling back twice to the same checkpoint
+yields two independent worlds.
+
+Why whole-graph copying is safe here
+------------------------------------
+
+Every callable reachable from the event queue or the component graph is a
+bound method of an object *inside* the world (both backends copy bound
+methods through their ``__self__``), a bound method of a shared object
+(the injector's gate), or a stateless module-level function.  Stateful
+closures would break this — both backends treat functions atomically, so a
+restored closure would keep mutating the pre-rollback world through its
+original cells — which is why the sharded runtime uses small classes
+(``_SamplerDriver``, ``_BoundaryPost``) where the single-process runner
+uses closures.  Note that bound-method copies are *not* deduplicated (two
+references to one method object become two method objects), so nothing in
+the world may rely on bound-method identity across a snapshot; the
+boundary post wrapper compares against the port attribute at call time for
+exactly this reason.
+
+The compiled engine backend keeps its event heap in C objects that neither
+backend can traverse, so speculative sync requires the pure backend;
+:mod:`repro.shard.speculative` falls back to conservative sync (with a
+warning) when ``REPRO_ENGINE=accel`` is active.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import gc
+import io
+import itertools
+import pickle
+import types
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+
+def shared_roots(config, spec, *extra) -> list:
+    """Objects a checkpoint shares with the live world instead of copying.
+
+    The config dataclass and its nested parameter dataclasses are frozen in
+    practice (nothing mutates them after construction), and the partition
+    spec is read-only after :func:`partition_topology`.  ``extra`` adds the
+    runtime's cross-round state (the injector).
+    """
+    roots = [config, spec]
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            roots.append(value)
+    roots.extend(extra)
+    return roots
+
+
+#: Live contexts by token, so :func:`_load_shared` can resolve shared-object
+#: references while a blob unpickles with the *standard* unpickler (no
+#: Python-level ``persistent_load`` call per reference).
+_CONTEXTS: Dict[int, "SnapshotContext"] = {}
+_next_token = itertools.count()
+
+
+def _load_shared(token: int, pid: int):
+    """Unpickle hook: resolve a shared-object reference to the live object."""
+    return _CONTEXTS[token]._objects[pid]
+
+
+class _WorldPickler(pickle.Pickler):
+    """Pickler that emits shared objects as :func:`_load_shared` calls.
+
+    The interception lives in ``reducer_override`` rather than
+    ``persistent_id`` deliberately: ``persistent_id`` is consulted for
+    *every* object (a Python call per int), while ``reducer_override`` only
+    fires for objects outside the C pickler's fast paths — class instances,
+    functions and classes — which is exactly the population that can be
+    shared.  Measured on the pod-split shard world this alone makes capture
+    ~4x faster.
+    """
+
+    def __init__(self, buffer, context: "SnapshotContext") -> None:
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._context = context
+
+    def reducer_override(self, obj):
+        if obj is _load_shared:
+            # The hook itself pickles by reference, or every shared-object
+            # reduce tuple would recurse into another one forever.
+            return NotImplemented
+        context = self._context
+        pid = context._index.get(id(obj))
+        if pid is None and isinstance(obj, types.FunctionType):
+            # Intern plain functions on first sight: deepcopy copies them
+            # atomically too, and every function reachable from a world is
+            # stateless or captures only immutables (see module docstring).
+            pid = context._intern(obj)
+        if pid is not None:
+            return (_load_shared, (context._token, pid))
+        if isinstance(obj, type):
+            reduce = getattr(obj, "__class_reduce__", None)
+            if reduce is not None:
+                return reduce(obj)
+        return NotImplemented
+
+
+class SnapshotContext:
+    """Capture/restore machinery for one worker's world.
+
+    Holds the shared-object list both backends exclude from copies.  The
+    list only grows (functions are interned lazily), and shared references
+    are indices into it, so blobs written early in a run stay loadable
+    after later captures extend the list.
+    """
+
+    def __init__(self, shared: list) -> None:
+        self._objects = list(shared)
+        self._index = {id(obj): i for i, obj in enumerate(self._objects)}
+        self._token = next(_next_token)
+        _CONTEXTS[self._token] = self
+        self.backend = "pickle"
+
+    def close(self) -> None:
+        """Drop the unpickle registry entry (for long-lived test processes)."""
+        _CONTEXTS.pop(self._token, None)
+
+    def _intern(self, obj) -> int:
+        pid = len(self._objects)
+        self._objects.append(obj)
+        self._index[id(obj)] = pid
+        return pid
+
+    def _memo(self) -> dict:
+        return {id(obj): obj for obj in self._objects}
+
+    def capture(self, world, time_ns: int, export_count: int,
+                applied: Dict[Tuple[int, int], int]) -> "WorldSnapshot":
+        """Checkpoint ``world``; ``time_ns`` is its last-fired event time."""
+        if self.backend == "pickle":
+            try:
+                buffer = io.BytesIO()
+                _WorldPickler(buffer, self).dump(world)
+                return WorldSnapshot(
+                    time_ns, export_count, dict(applied),
+                    buffer.getvalue(), "pickle",
+                )
+            except Exception as exc:
+                warnings.warn(
+                    "world snapshot is not picklable "
+                    f"({exc.__class__.__name__}: {exc}); falling back to "
+                    "deepcopy checkpoints for the rest of this run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.backend = "deepcopy"
+        stored = copy.deepcopy(world, self._memo())
+        return WorldSnapshot(time_ns, export_count, dict(applied),
+                             stored, "deepcopy")
+
+    def restore(self, snapshot: "WorldSnapshot"):
+        """Materialize a fresh world from ``snapshot`` (reusable any number of times)."""
+        if snapshot.backend == "pickle":
+            # Unpickling allocates one whole world graph; pausing the cyclic
+            # GC keeps those allocations from triggering collections halfway
+            # through (the garbage is still there to collect afterwards).
+            enabled = gc.isenabled()
+            gc.disable()
+            try:
+                return pickle.loads(snapshot._world)
+            finally:
+                if enabled:
+                    gc.enable()
+        return copy.deepcopy(snapshot._world, self._memo())
+
+
+class WorldSnapshot:
+    """One checkpoint: a stored world plus the rollback bookkeeping.
+
+    ``time_ns``
+        Simulated time of the last event that had fired at capture; rollback
+        picks the newest snapshot strictly before the earliest straggler
+        arrival, so a capture at ``t`` must contain exactly the events fired
+        up to and including ``t``.
+    ``export_count``
+        Cumulative number of boundary exports this shard had reported when
+        the capture was taken; restoring rewinds the export stream to this
+        index (the coordinator reconciles re-sent exports by prefix diff).
+    ``applied``
+        Which delivered boundary packets — ``(src, idx) -> generation`` —
+        had been scheduled into the engine at capture time.  After a
+        restore, every live log entry whose generation is missing from this
+        map is re-injected; entries present in the map are already in the
+        restored event queue.
+    ``backend``
+        How ``_world`` is stored: a ``pickle`` blob or a ``deepcopy`` graph.
+    """
+
+    __slots__ = ("time_ns", "export_count", "applied", "_world", "backend")
+
+    def __init__(self, time_ns: int, export_count: int,
+                 applied: Dict[Tuple[int, int], int], world,
+                 backend: str = "deepcopy") -> None:
+        self.time_ns = time_ns
+        self.export_count = export_count
+        self.applied = applied
+        self._world = world
+        self.backend = backend
+
+
+class SnapshotStore:
+    """The worker's ring of checkpoints, pruned against the global lower bound.
+
+    Rollback targets are always strictly *before* the trigger arrival, and
+    every future trigger arrives at or after the coordinator's global
+    virtual time (GVT — the earliest unprocessed event or undelivered
+    message anywhere).  Keeping the newest snapshot older than GVT plus
+    everything after it therefore always leaves a valid target, while
+    bounding memory to roughly one snapshot per outstanding round.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: List[WorldSnapshot] = []
+        self.taken = 0
+
+    def add(self, snapshot: WorldSnapshot) -> None:
+        self._snapshots.append(snapshot)
+        self.taken += 1
+
+    def latest_before(self, time_ns: int) -> Optional[WorldSnapshot]:
+        """Newest snapshot captured strictly before ``time_ns``."""
+        for snapshot in reversed(self._snapshots):
+            if snapshot.time_ns < time_ns:
+                return snapshot
+        return None
+
+    def rollback_to(self, time_ns: int) -> Optional[WorldSnapshot]:
+        """Pick the rollback target for a straggler at ``time_ns`` — and
+        discard every later snapshot.
+
+        Snapshots after the target were captured on the timeline the
+        rollback abandons: they embed the straggler-free (or
+        since-retracted) inputs, so restoring one later would resurrect a
+        rejected history.  Returns ``None`` if no snapshot precedes
+        ``time_ns`` (cannot happen while the GVT invariant holds: the
+        pre-run snapshot is only pruned once a newer one is final).
+        """
+        snapshots = self._snapshots
+        for i in range(len(snapshots) - 1, -1, -1):
+            if snapshots[i].time_ns < time_ns:
+                del snapshots[i + 1:]
+                return snapshots[i]
+        return None
+
+    def prune(self, gvt_ns: int) -> None:
+        """Drop snapshots that can never be a rollback target again."""
+        snapshots = self._snapshots
+        keep_from = 0
+        for i in range(len(snapshots) - 1, -1, -1):
+            if snapshots[i].time_ns < gvt_ns:
+                keep_from = i
+                break
+        if keep_from:
+            del snapshots[:keep_from]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

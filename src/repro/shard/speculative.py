@@ -1,0 +1,633 @@
+"""Optimistic (time-warp) shard synchronization with checkpoint/rollback.
+
+The conservative runtime (:mod:`repro.shard.coordinator`) is proven
+byte-identical but barrier-bound: every shard advances in lock-step windows
+of the smallest cut-link delay, so a 1 µs pod split pays hundreds of
+synchronization rounds per simulated millisecond.  This module keeps the
+barrier-synchronous message plumbing but lets every shard *speculate*
+several windows past the global safe point, repairing mistakes instead of
+preventing them:
+
+* Each round the coordinator computes **GVT** — the earliest unprocessed
+  event or undelivered message anywhere (the same quantity the
+  conservative loop calls ``earliest``) — and lets every shard run to
+  ``min(total, GVT + leap × window − 1)``.  With ``leap == 1`` this *is*
+  the conservative horizon; the coordinator adapts ``leap``
+  multiplicatively (double after a straggler-free round, halve after a
+  straggler), so dense cross-shard phases degrade gracefully to
+  conservative behavior and sparse phases commit many windows per round.
+* A boundary packet that arrives in a shard's simulated past (a
+  *straggler*) triggers a rollback: the worker restores the newest
+  checkpoint strictly before the arrival (:mod:`repro.shard.snapshot`) and
+  re-executes forward.  Replay is deterministic, so the re-sent export
+  stream shares a prefix with what the coordinator already saw; the
+  coordinator diffs the two and *retracts* only the delivered exports past
+  the divergence point (time-warp anti-messages), which bounds rollback
+  cascades.
+* GVT never decreases and every straggler or retraction arrives at or
+  after it, so states older than GVT are final — that is the rollback
+  safety invariant, and it is also the checkpoint pruning rule.
+
+Why replay lands every event in its original order
+--------------------------------------------------
+
+The engine orders same-time events by scheduling ancestry, then by
+sequence number.  The conservative runtime injects boundary packets in one
+globally sorted batch per barrier, so the engine's own counter reproduces
+the global tie-break.  Under speculation the *insertion moment* of an
+injection is unpredictable (it may be re-applied mid-replay), so the
+sequence number must not depend on it: injections carry a **crafted**
+sequence — ``BASE | src_shard | export_index | generation`` with
+``BASE = 1 << 62`` — making the ordering slot a pure function of the
+packet's identity:
+
+* crafted sequences exceed every engine-allocated sequence, so a local
+  event that ties a boundary delivery in time *and* full ancestry always
+  precedes it — exactly where the conservative batch (injected at the
+  barrier, after all local scheduling) places it;
+* two boundary deliveries that tie in time and ancestry shared a commit
+  instant, so the conservative runtime orders them ``(src_shard,
+  capture index)`` — exactly the crafted sequence's field order;
+* the generation field distinguishes retracted-and-redelivered versions
+  of one export, so two queue entries never share all six ordering fields
+  (tuple comparison would otherwise fall through to the callbacks).
+
+Deliveries are injected as *gates*: the engine entry holds only
+``(src, idx, generation)`` and the shared
+:class:`SpeculativeInjector` decides liveness when it fires.  Retraction
+therefore never cancels engine entries (a stale gate fires as a no-op),
+and the injector — memo-shared across snapshots, the time-warp *input
+queue* — re-arms any delivery a restored world is missing.
+
+Speculation is a pure scheduling change: committed records are
+byte-identical to conservative sharding and to a single-process run
+(``tests/test_shard_determinism.py`` pins all three), and the speculative
+counters land in ``shard_stats["speculation"]``.
+"""
+
+from __future__ import annotations
+
+import gc
+import traceback
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .boundary import packet_from_wire
+from .coordinator import (
+    ShardCoordinator,
+    ShardError,
+    _build_shard_world,
+    _harvest_shard,
+)
+from .snapshot import SnapshotContext, SnapshotStore, shared_roots
+
+#: Valid values of ``ExperimentConfig.shard_sync``.
+SYNC_MODES = ("conservative", "speculative", "adaptive")
+
+#: ``adaptive`` picks speculative sync when the conservative window is
+#: narrower than this: pod-internal splits (≈1 µs hop delay) thrash on
+#: barriers, while cross-DC partitions (≥20 µs gateway delay) amortize them
+#: fine and skip the snapshot overhead.
+ADAPTIVE_WINDOW_NS = 5_000
+
+#: Ceiling for the adaptive horizon leap (in conservative windows).
+DEFAULT_MAX_LEAP = 16
+
+#: Checkpoint cadence in *speculative* rounds (1 = checkpoint before every
+#: round that runs past the conservative horizon).  Rounds at leap 1 never
+#: checkpoint: a message generated under a conservative horizon arrives at
+#: least one window past it, so it can never become a straggler.
+DEFAULT_SNAPSHOT_EVERY = 1
+
+#: Minimum engine events between checkpoints.  Replaying events is much
+#: cheaper than capturing a world (tens of microseconds per event versus
+#: ~10 ms per capture), so a checkpoint only pays for itself once the
+#: replay it would save exceeds roughly this many events.  Deterministic on
+#: purpose: the cadence depends only on simulation state, never wall time.
+SNAPSHOT_MIN_EVENTS = 512
+
+# Crafted sequence layout: BASE | src_shard (12 bits) | export index
+# (32 bits) | generation (18 bits).  BASE dwarfs any engine-allocated
+# sequence (those count actual events), and the field order reproduces the
+# conservative batch sort for ancestry ties.
+_SEQ_BASE = 1 << 62
+_SRC_SHIFT = 50
+_IDX_SHIFT = 18
+_GEN_MASK = (1 << 18) - 1
+
+
+def _crafted_seq(src_shard: int, export_idx: int, generation: int) -> int:
+    return (
+        _SEQ_BASE
+        | (src_shard << _SRC_SHIFT)
+        | (export_idx << _IDX_SHIFT)
+        | (generation & _GEN_MASK)
+    )
+
+
+@dataclass(frozen=True)
+class SyncPolicy:
+    """Resolved shard synchronization policy for one partitioned run.
+
+    ``requested`` is the config value (may be ``adaptive``); ``mode`` is
+    what actually runs (``conservative`` or ``speculative``) and ``reason``
+    says why — surfaced by ``repro topology info --sync``.
+    """
+
+    requested: str
+    mode: str
+    reason: str
+    max_leap: int = DEFAULT_MAX_LEAP
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+
+    @classmethod
+    def resolve(cls, requested: str, window_ns: Optional[int]) -> "SyncPolicy":
+        """Pick the sync mode for a partition with the given window."""
+        if requested not in SYNC_MODES:
+            raise ShardError(
+                f"unknown shard_sync {requested!r}; expected one of {SYNC_MODES}"
+            )
+        if requested == "conservative":
+            return cls(requested, "conservative", "requested")
+        from repro.sim.engine import ENGINE_BACKEND
+
+        if ENGINE_BACKEND != "pure":
+            warnings.warn(
+                "speculative shard sync requires the pure engine backend "
+                "(checkpoints deepcopy the event queue, which the compiled "
+                "heap does not support); falling back to conservative sync",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls(requested, "conservative", "accel engine backend")
+        if requested == "speculative":
+            return cls(requested, "speculative", "requested")
+        if window_ns is not None and window_ns < ADAPTIVE_WINDOW_NS:
+            return cls(
+                requested, "speculative",
+                f"window {window_ns} ns < {ADAPTIVE_WINDOW_NS} ns",
+            )
+        return cls(
+            requested, "conservative",
+            f"window {window_ns} ns >= {ADAPTIVE_WINDOW_NS} ns",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _DeliveredRecord:
+    """One boundary packet the coordinator delivered to this shard."""
+
+    __slots__ = ("gen", "arrival", "ancestry", "node", "iface", "wire", "alive")
+
+    def __init__(self, gen, arrival, ancestry, node, iface, wire) -> None:
+        self.gen = gen
+        self.arrival = arrival
+        self.ancestry = ancestry
+        self.node = node
+        self.iface = iface
+        self.wire = wire
+        self.alive = True
+
+
+class SpeculativeInjector:
+    """Receive-side time-warp input queue: delivery log, gates, re-arming.
+
+    Exactly one per worker, *shared* across every checkpoint (the snapshot
+    memo is seeded with it): what the coordinator delivered must survive a
+    rollback, or replay would lose inputs.  The pieces of per-world state
+    it touches are handled explicitly — ``applied`` (which deliveries are
+    scheduled in the current world's engine) is saved and restored beside
+    each checkpoint, and ``rebind`` repoints the node map at the restored
+    topology.
+    """
+
+    def __init__(self, world) -> None:
+        self.sim = world.sim
+        self._key_cache: Dict[tuple, object] = {}
+        self._node_of: Dict[str, object] = {}
+        self._index_nodes(world.topo)
+        #: (src_shard, export_idx) -> newest delivered version.
+        self.log: Dict[Tuple[int, int], _DeliveredRecord] = {}
+        #: (src_shard, export_idx) -> generation scheduled in the live engine.
+        self.applied: Dict[Tuple[int, int], int] = {}
+
+    def _index_nodes(self, topo) -> None:
+        node_of = self._node_of = {}
+        for host in topo.hosts.values():
+            node_of[host.name] = host
+        for name, switch in topo.switches.items():
+            node_of[name] = switch
+
+    def rebind(self, world) -> None:
+        """Repoint at a freshly restored world (after a rollback)."""
+        self.sim = world.sim
+        self._index_nodes(world.topo)
+
+    # -- coordinator messages ----------------------------------------------
+
+    def admit(self, src, idx, gen, arrival, ancestry, node, iface, wire) -> None:
+        self.log[(src, idx)] = _DeliveredRecord(
+            gen, arrival, ancestry, node, iface, wire
+        )
+
+    def retract(self, src, idx) -> Optional[_DeliveredRecord]:
+        record = self.log.get((src, idx))
+        if record is not None:
+            record.alive = False
+        return record
+
+    # -- engine plumbing ----------------------------------------------------
+
+    def apply_pending(self) -> None:
+        """Schedule a gate for every live delivery the engine is missing.
+
+        Called once per round, after any rollback: a restored world's queue
+        holds exactly the gates that were applied before its checkpoint, so
+        everything newer (or redelivered since) is re-armed here.  Crafted
+        sequences make the insertion moment irrelevant to event order.
+        """
+        sim = self.sim
+        now = sim.now
+        applied = self.applied
+        for key, record in self.log.items():
+            if not record.alive or applied.get(key) == record.gen:
+                continue
+            if record.arrival <= now:
+                # Unreachable: an unapplied live delivery in the simulated
+                # past would have triggered a rollback below its arrival.
+                raise ShardError(
+                    f"delivery {key} at {record.arrival} ns is in the past "
+                    f"of shard time {now} ns without a rollback"
+                )
+            sim.schedule_boundary(
+                record.arrival,
+                record.ancestry,
+                self.gate,
+                key,
+                record.gen,
+                seq=_crafted_seq(key[0], key[1], record.gen),
+            )
+            applied[key] = record.gen
+
+    def gate(self, key, gen) -> None:
+        """Deliver one boundary packet — iff its version is still current."""
+        record = self.log.get(key)
+        if record is None or not record.alive or record.gen != gen:
+            return
+        packet = packet_from_wire(record.wire, self._key_cache)
+        self._node_of[record.node].receive(packet, record.iface)
+
+    def live_deliveries(self) -> int:
+        return sum(1 for record in self.log.values() if record.alive)
+
+
+def _speculative_worker(
+    conn, config, shard_id: int, num_shards: int, strategy: str,
+    snapshot_every: int,
+) -> None:
+    """Entry point of one shard process (optimistic rounds)."""
+    try:
+        world, spec = _build_shard_world(config, shard_id, num_shards, strategy)
+        injector = SpeculativeInjector(world)
+        context = SnapshotContext(shared_roots(config, spec, injector))
+        store = SnapshotStore()
+        window_ns = spec.window_ns or 1
+        # Rollback churn allocates and drops whole world graphs; the default
+        # GC cadence (gen-0 every 700 allocations) spends a measurable slice
+        # of every restore re-scanning them.  The base world is effectively
+        # permanent, so freeze it out of collection and let garbage batch up.
+        gc.collect()
+        gc.freeze()
+        gc.set_threshold(100_000, 50, 50)
+        # The pre-run checkpoint (time −1: nothing has fired, including the
+        # t=0 flow starts) guarantees a rollback target below any straggler.
+        store.add(context.capture(world, -1, 0, injector.applied))
+        sent_total = 0
+        rollbacks = 0
+        events_reexecuted = 0
+        spec_rounds = 0
+        last_capture_events = 0
+
+        conn.send(("state", 0, [], world.sim.next_event_time()))
+        while True:
+            message = conn.recv()
+            if message[0] == "finish":
+                break
+            _, until, gvt, deliveries, retractions = message
+            sim = world.sim
+
+            # 1. Fold the coordinator's messages into the log, noting every
+            #    message that lands in this shard's simulated past.
+            triggers: List[int] = []
+            for src, idx in retractions:
+                record = injector.retract(src, idx)
+                if record is not None and record.arrival <= sim.now:
+                    triggers.append(record.arrival)
+            for src, idx, gen, arrival, ancestry, node, iface, wire in deliveries:
+                injector.admit(src, idx, gen, arrival, ancestry, node, iface, wire)
+                if arrival <= sim.now:
+                    triggers.append(arrival)
+
+            # 2. Rollback: restore the newest checkpoint strictly before the
+            #    earliest straggler, rewinding the export stream and the
+            #    applied-delivery map with it.
+            rolled = bool(triggers)
+            if rolled:
+                target = store.rollback_to(min(triggers))
+                if target is None:  # pragma: no cover - GVT invariant
+                    raise ShardError(
+                        f"shard {shard_id}: no checkpoint before straggler "
+                        f"at {min(triggers)} ns"
+                    )
+                discarded = sim.events_processed
+                # Drop the abandoned world before materializing its
+                # replacement: refcounting frees the bulk of it immediately,
+                # so restore's allocations do not trigger collections that
+                # re-scan a dead 60k-object graph.
+                world = sim = None
+                world = context.restore(target)
+                sim = world.sim
+                injector.applied = dict(target.applied)
+                injector.rebind(world)
+                sent_total = target.export_count
+                events_reexecuted += discarded - sim.events_processed
+                rollbacks += 1
+                last_capture_events = sim.events_processed
+            elif until > gvt + window_ns - 1:
+                # Checkpoint lazily, before speculating: only a round that
+                # runs past the conservative horizon can be rolled back into
+                # (a message generated under a conservative horizon arrives
+                # at least one window later), so leap-1 stretches pay no
+                # snapshot cost at all.  The event-count gate additionally
+                # skips captures that would save less replay than they cost.
+                spec_rounds += 1
+                if (
+                    spec_rounds % snapshot_every == 0
+                    and sim.events_processed - last_capture_events
+                    >= SNAPSHOT_MIN_EVENTS
+                ):
+                    store.add(
+                        context.capture(world, sim.now, sent_total,
+                                        injector.applied)
+                    )
+                    last_capture_events = sim.events_processed
+
+            # 3. Re-arm missing deliveries, run the round, drain the outbox.
+            injector.apply_pending()
+            sim.run(until=until)
+            store.prune(gvt)
+            exports = list(world.outbox)
+            world.outbox.clear()
+            base = sent_total
+            sent_total += len(exports)
+            if (
+                rolled
+                and sim.events_processed - last_capture_events
+                >= SNAPSHOT_MIN_EVENTS
+            ):
+                # Anchor the repaired timeline so a follow-up straggler
+                # replays from here instead of re-replaying from the old
+                # checkpoint (again, only once enough replay is at stake).
+                store.add(
+                    context.capture(world, sim.now, sent_total,
+                                    injector.applied)
+                )
+                last_capture_events = sim.events_processed
+            conn.send(("state", base, exports, sim.next_event_time()))
+
+        payload = _harvest_shard(
+            config, world.sim, world.topo, world.trace, spec, shard_id,
+            world.sampler, world.boundary_ports, injector.live_deliveries(),
+        )
+        payload["speculation"] = {
+            "snapshots": store.taken,
+            "rollbacks": rollbacks,
+            "events_reexecuted": events_reexecuted,
+        }
+        conn.send(("result", payload))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class SpeculativeCoordinator(ShardCoordinator):
+    """Drives the workers through adaptive optimistic rounds.
+
+    Keeps the conservative coordinator's process management and merge shape
+    (``barriers`` counts synchronization rounds, ``boundary_packets``
+    counts *committed* boundary crossings — identical in value to the
+    conservative count), and adds the time-warp bookkeeping: per-source
+    export logs for prefix-diff reconciliation, retraction queues, and the
+    multiplicative horizon-leap controller.
+    """
+
+    sync = "speculative"
+    _worker_target = staticmethod(_speculative_worker)
+
+    def __init__(self, config, spec, shard_ids, slot_budget=None,
+                 policy: Optional[SyncPolicy] = None) -> None:
+        super().__init__(config, spec, shard_ids, slot_budget=slot_budget)
+        self.policy = policy if policy is not None else SyncPolicy.resolve(
+            "speculative", spec.window_ns
+        )
+        self.stragglers = 0
+        self.retractions_sent = 0
+        self.exports_retracted = 0
+        self.barriers_avoided = 0
+        self.max_leap_used = 1
+
+    def _worker_extra_args(self) -> tuple:
+        return (self.policy.snapshot_every,)
+
+    def sync_stats(self, payloads) -> Dict[str, object]:
+        per_shard = {
+            str(payload["shard"]): payload["speculation"]
+            for payload in sorted(payloads, key=lambda p: p["shard"])
+        }
+        return {
+            "snapshots": sum(s["snapshots"] for s in per_shard.values()),
+            "rollbacks": sum(s["rollbacks"] for s in per_shard.values()),
+            "events_reexecuted": sum(
+                s["events_reexecuted"] for s in per_shard.values()
+            ),
+            "stragglers": self.stragglers,
+            "retractions": self.retractions_sent,
+            "exports_retracted": self.exports_retracted,
+            "barriers_avoided": self.barriers_avoided,
+            "max_leap_used": self.max_leap_used,
+            "max_leap": self.policy.max_leap,
+            "snapshot_every": self.policy.snapshot_every,
+            "per_shard": per_shard,
+        }
+
+    # -- the optimistic round loop ------------------------------------------
+
+    def run(self) -> List[Dict[str, object]]:
+        """Run the adaptive time-warp round loop; returns the shard payloads."""
+        total_ns = self.config.total_duration_ns()
+        window_ns = self.spec.window_ns
+        if window_ns is None or window_ns <= 0:
+            raise ShardError(
+                "partition has no cut links (or a zero-delay cut), so there "
+                "is no synchronization window to speculate past; run "
+                "single-process instead"
+            )
+        try:
+            self._spawn()
+            next_times: Dict[int, Optional[int]] = {}
+            for shard_id in self.shard_ids:
+                _, _, _, next_time = self._recv(shard_id)
+                next_times[shard_id] = next_time
+
+            #: Committed export stream per source shard: the raw export
+            #: tuples ``(dest, arrival, ancestry, node, iface, wire)`` in
+            #: capture order, plus a parallel delivered? flag.  Replay
+            #: determinism makes re-sent streams prefix-stable, so a
+            #: positional diff finds the true divergence.
+            logs: Dict[int, List[tuple]] = {s: [] for s in self.shard_ids}
+            delivered: Dict[int, List[bool]] = {s: [] for s in self.shard_ids}
+            #: Highest generation ever used per (src, idx) — never reused,
+            #: so a redelivered export always outranks its stale gates.
+            gen_high: Dict[Tuple[int, int], int] = {}
+            pending_deliv: Dict[int, List[Tuple[int, int]]] = {
+                s: [] for s in self.shard_ids
+            }
+            pending_retr: Dict[int, List[Tuple[int, int, int]]] = {
+                s: [] for s in self.shard_ids
+            }
+
+            leap = 1
+            horizon = -1
+            while True:
+                # GVT: earliest unprocessed event or undelivered message.
+                candidates = [t for t in next_times.values() if t is not None]
+                for items in pending_deliv.values():
+                    candidates.extend(logs[src][idx][1] for src, idx in items)
+                for items in pending_retr.values():
+                    candidates.extend(arrival for _, _, arrival in items)
+                earliest = min(candidates) if candidates else None
+                if earliest is None or earliest > total_ns:
+                    if horizon >= total_ns:
+                        break
+                    until = total_ns
+                    gvt = total_ns + 1 if earliest is None else earliest
+                else:
+                    until = min(total_ns, earliest + window_ns * leap - 1)
+                    gvt = earliest
+
+                stragglers_now = 0
+                for dest in self.shard_ids:
+                    deliveries = []
+                    for src, idx in pending_deliv[dest]:
+                        _, arrival, ancestry, node, iface, wire = logs[src][idx]
+                        gen = gen_high.get((src, idx), 0) + 1
+                        gen_high[(src, idx)] = gen
+                        delivered[src][idx] = True
+                        if arrival <= horizon:
+                            stragglers_now += 1
+                        deliveries.append(
+                            (src, idx, gen, arrival, ancestry, node, iface, wire)
+                        )
+                    pending_deliv[dest] = []
+                    retractions = []
+                    for src, idx, arrival in pending_retr[dest]:
+                        if arrival <= horizon:
+                            stragglers_now += 1
+                        retractions.append((src, idx))
+                    self.retractions_sent += len(retractions)
+                    pending_retr[dest] = []
+                    self._conns[dest].send(
+                        ("step", until, gvt, deliveries, retractions)
+                    )
+                self.barriers += 1
+
+                for src in self.shard_ids:
+                    _, base, exports, next_time = self._recv(src)
+                    next_times[src] = next_time
+                    self._reconcile(
+                        src, base, exports, logs, delivered, pending_deliv,
+                        pending_retr,
+                    )
+
+                # Leap controller: a straggler means this round repaid
+                # speculation with a rollback — back off toward the
+                # conservative horizon (leap 1 cannot produce stragglers);
+                # a clean round doubles the leap.
+                if stragglers_now:
+                    self.stragglers += stragglers_now
+                    leap = max(1, leap // 2)
+                else:
+                    leap = min(self.policy.max_leap, leap * 2)
+                self.max_leap_used = max(self.max_leap_used, leap)
+                if earliest is not None and until > earliest:
+                    # Estimated conservative rounds this one subsumed: the
+                    # conservative horizon would have been
+                    # earliest + window − 1.
+                    extra = until - (earliest + window_ns - 1)
+                    if extra > 0:
+                        self.barriers_avoided += -(-extra // window_ns)
+                horizon = until
+
+            self.boundary_packets = sum(len(log) for log in logs.values())
+            payloads = []
+            for shard_id in self.shard_ids:
+                self._conns[shard_id].send(("finish",))
+            for shard_id in self.shard_ids:
+                payloads.append(self._recv(shard_id)[1])
+            return payloads
+        finally:
+            self._shutdown()
+
+    def _reconcile(
+        self, src, base, exports, logs, delivered, pending_deliv, pending_retr
+    ) -> None:
+        """Prefix-diff a shard's (possibly replayed) export stream.
+
+        ``base`` is the cumulative index of the first export in this
+        message — the worker's checkpoint export count after a rollback,
+        the previous total otherwise.  Identical re-sent exports are
+        no-ops; past the first divergence, delivered old versions are
+        retracted (anti-messages), stale pending ones dropped, and the new
+        tail queued for delivery.
+        """
+        log = logs[src]
+        flags = delivered[src]
+        new_len = base + len(exports)
+        limit = min(len(log), new_len)
+        d = base
+        while d < limit and log[d] == exports[d - base]:
+            d += 1
+        if d < len(log):
+            for idx in range(d, len(log)):
+                if flags[idx]:
+                    dest_old, arrival_old = log[idx][0], log[idx][1]
+                    pending_retr[dest_old].append((src, idx, arrival_old))
+                    self.exports_retracted += 1
+            del log[d:]
+            del flags[d:]
+            # Drop stale pending deliveries of the truncated indices; the
+            # re-appended tail re-queues its own.
+            for dest in pending_deliv:
+                pending_deliv[dest] = [
+                    (s, i) for s, i in pending_deliv[dest]
+                    if s != src or i < d
+                ]
+        for idx in range(len(log), new_len):
+            export = exports[idx - base]
+            log.append(export)
+            flags.append(False)
+            pending_deliv[export[0]].append((src, idx))

@@ -33,6 +33,51 @@ from repro.sim import units
 from tests.golden_kernel import GOLDEN_SCHEMES, canonical_records, golden_configs
 
 
+#: Every key a sharded run may report in ``ExperimentResult.shard_stats``.
+#: The same table appears in docs/architecture.md ("shard_stats schema") —
+#: keep the two in sync; :func:`assert_shard_stats_schema` enforces this one.
+SHARD_STATS_KEYS = {
+    # From PartitionSpec.stats (always present).
+    "num_shards", "strategy", "shards", "cut_links", "cut_links_by_class",
+    "window_ns",
+    # Degenerate partitions fall back to the single-process runner.
+    "degenerate",
+    # Scheduling (present when the campaign scheduler reserved slots).
+    "slot_budget", "oversubscribed",
+    # Coordinator merge (present on every true multi-process run).
+    "sync", "requested_sync", "barriers", "boundary_packets",
+    "events_per_shard", "boundary_ports_per_shard",
+    # Time-warp counters (present when the run actually speculated).
+    "speculation",
+}
+
+SPECULATION_KEYS = {
+    "snapshots", "rollbacks", "events_reexecuted", "stragglers",
+    "retractions", "exports_retracted", "barriers_avoided",
+    "max_leap_used", "max_leap", "snapshot_every", "per_shard",
+}
+
+
+def assert_shard_stats_schema(stats):
+    """Fail on any undocumented shard_stats key (schema-drift tripwire)."""
+    assert stats is not None
+    unknown = set(stats) - SHARD_STATS_KEYS
+    assert not unknown, (
+        f"undocumented shard_stats keys {sorted(unknown)}; add them to "
+        "SHARD_STATS_KEYS here AND to the schema table in docs/architecture.md"
+    )
+    speculation = stats.get("speculation")
+    if speculation is not None:
+        assert set(speculation) == SPECULATION_KEYS, (
+            "speculation counter set drifted from the documented schema: "
+            f"{sorted(set(speculation) ^ SPECULATION_KEYS)}"
+        )
+        for shard_counters in speculation["per_shard"].values():
+            assert set(shard_counters) == {
+                "snapshots", "rollbacks", "events_reexecuted"
+            }
+
+
 def shard_canonical(result):
     """Canonical records comparable between sharded and serial runs.
 
@@ -80,14 +125,81 @@ class TestShardedEqualsSerial:
         result = run_experiment(config)
         stats = result.shard_stats
         assert stats is not None
+        assert_shard_stats_schema(stats)
         assert stats["num_shards"] == 2
         assert stats["cut_links"] > 0
         assert stats["window_ns"] == config.clos.link_delay_ns
+        assert stats["sync"] == "conservative"
+        assert stats["requested_sync"] == "conservative"
+        assert "speculation" not in stats
         assert stats["barriers"] > 0
         assert stats["boundary_packets"] > 0
         assert sum(int(v) for v in stats["events_per_shard"].values()) == (
             result.events_processed
         )
+
+
+class TestSpeculativeEqualsSerial:
+    """Time-warp sync produces the same bytes as conservative and serial.
+
+    ``adaptive`` resolves to speculative on the golden pod split (1 us
+    window), so both requested modes exercise the optimistic runtime; the
+    stats record which mode was requested vs what actually ran.
+    """
+
+    @pytest.mark.parametrize("scheme", GOLDEN_SCHEMES)
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("sync", ["speculative", "adaptive"])
+    def test_byte_identical_records(self, serial_records, scheme, shards, sync):
+        config = replace(golden_configs()[scheme], shards=shards,
+                         shard_sync=sync)
+        result = run_experiment(config)
+        sharded = shard_canonical(result)
+        serial = serial_records[scheme]
+        for key in serial:
+            assert sharded[key] == serial[key], (
+                f"{scheme} shards={shards} sync={sync}: {key} diverged "
+                "from the single-process run"
+            )
+        assert sharded == serial
+        stats = result.shard_stats
+        assert_shard_stats_schema(stats)
+        assert stats["sync"] == "speculative"
+        assert stats["requested_sync"] == sync
+        speculation = stats["speculation"]
+        assert speculation["snapshots"] > 0
+        assert speculation["max_leap"] >= 1
+
+    def test_speculation_makes_progress_and_saves_barriers(self):
+        config = replace(golden_configs()["BFC"], shards=2,
+                         shard_sync="speculative")
+        speculative = run_experiment(config)
+        conservative = run_experiment(replace(config, shard_sync="conservative"))
+        # The committed simulation is the same; only the sync path differs.
+        assert shard_canonical(speculative) == shard_canonical(conservative)
+        assert (speculative.shard_stats["boundary_packets"]
+                == conservative.shard_stats["boundary_packets"])
+        stats = speculative.shard_stats["speculation"]
+        # On the dense pod cut the runtime genuinely speculates: it leaps
+        # multiple windows, takes checkpoints, and pays real rollbacks.
+        assert stats["max_leap_used"] > 1
+        assert stats["snapshots"] > 0
+        assert stats["rollbacks"] > 0
+        assert stats["events_reexecuted"] > 0
+        assert stats["barriers_avoided"] > 0
+        # ... and the point of it all: fewer synchronization barriers.
+        assert (speculative.shard_stats["barriers"]
+                < conservative.shard_stats["barriers"])
+        assert (speculative.shard_stats["barriers"]
+                + stats["barriers_avoided"]
+                >= conservative.shard_stats["barriers"])
+
+    def test_speculative_run_is_deterministic_run_to_run(self):
+        config = replace(golden_configs()["BFC"], shards=2,
+                         shard_sync="speculative")
+        first = shard_canonical(run_experiment(config))
+        second = shard_canonical(run_experiment(config))
+        assert first == second
 
 
 class TestSingleShardDegradesToPlainRunner:
@@ -129,6 +241,48 @@ class TestCrossDcSharding:
             replace(fig9_config, shards=4, shard_strategy="pod")
         )
         assert shard_canonical(sharded) == serial
+
+    def test_adaptive_resolves_conservative_on_wide_window(self, fig9_config):
+        # The 20 us inter-DC window is far above the adaptive threshold:
+        # speculating across it would roll back constantly, so the policy
+        # keeps conservative sync — and records both the request and the
+        # resolution.
+        serial = shard_canonical(run_experiment(fig9_config))
+        result = run_experiment(replace(fig9_config, shards=2,
+                                        shard_sync="adaptive"))
+        assert shard_canonical(result) == serial
+        stats = result.shard_stats
+        assert_shard_stats_schema(stats)
+        assert stats["requested_sync"] == "adaptive"
+        assert stats["sync"] == "conservative"
+        assert "speculation" not in stats
+
+    def test_forced_speculative_across_dcs_byte_identical(self, fig9_config):
+        # Explicitly requested speculation runs even on the wide window and
+        # still commits identical bytes.
+        serial = shard_canonical(run_experiment(fig9_config))
+        result = run_experiment(replace(fig9_config, shards=2,
+                                        shard_sync="speculative"))
+        assert shard_canonical(result) == serial
+        stats = result.shard_stats
+        assert stats["sync"] == "speculative"
+        assert stats["speculation"]["snapshots"] > 0
+
+    def test_adaptive_speculates_on_pod_split(self, fig9_config):
+        # Pod-splitting the same cross-DC scenario cuts 1 us intra-DC links,
+        # which is under the adaptive threshold: the policy picks time-warp.
+        serial = shard_canonical(run_experiment(fig9_config))
+        result = run_experiment(replace(fig9_config, shards=4,
+                                        shard_strategy="pod",
+                                        shard_sync="adaptive"))
+        assert shard_canonical(result) == serial
+        stats = result.shard_stats
+        assert_shard_stats_schema(stats)
+        assert stats["requested_sync"] == "adaptive"
+        assert stats["sync"] == "speculative"
+        assert stats["window_ns"] == (
+            fig9_config.cross_dc.dc_params.link_delay_ns
+        )
 
 
 class TestCampaignComposition:
