@@ -1,0 +1,28 @@
+"""fig_collective: self-clocked ML collectives under each scheme.
+
+Beyond-the-paper scenario: ring/tree all-reduce and all-to-all phases run as
+dependency-driven flow graphs (step ``s+1`` launches only when step ``s``'s
+chunk arrived), so queueing delay a scheme allows to build up compounds
+across steps.  The reported metric is the collective *makespan* (first
+launch to last delivery) alongside per-flow slowdowns.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.apps import collective_table, graph_makespan_ns
+from repro.experiments.scenarios import collective_configs
+
+
+def test_fig_collective_makespan(benchmark):
+    configs = collective_configs(bench_scale())
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    table = collective_table(results)
+    write_result("fig_collective", table)
+
+    for label, result in results.items():
+        makespan = graph_makespan_ns(result, "collective")
+        # Every collective must fully drain inside the simulated window.
+        assert makespan is not None, f"{label}: collective did not complete"
+        assert result.completion_rate() == 1.0, label
+        benchmark.extra_info[f"makespan_us/{label}"] = makespan / 1_000.0

@@ -1,0 +1,37 @@
+"""fig_est: BFC pause-decision quality on stale occupancy telemetry.
+
+Beyond-the-paper sweep: BFC-Est reads delayed (INT-style) per-queue
+occupancy instead of the exact enqueue-time state the paper assumes.  The
+expectation is graceful degradation — tails grow with the signal delay —
+and an exact degenerate point: BFC-Est at staleness 0 is byte-identical to
+BFC, which this harness asserts on the aggregate records.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.estimation import staleness_table
+from repro.experiments.scenarios import fig_est_configs
+
+STALENESS_POINTS_NS = (0, 2_000, 4_000, 8_000, 16_000)
+
+
+def test_fig_est_staleness_sweep(benchmark):
+    configs = fig_est_configs(bench_scale(), staleness_points_ns=STALENESS_POINTS_NS)
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    table = staleness_table(results)
+    write_result("fig_est_staleness", table)
+
+    exact = results["BFC"]
+    degenerate = results["BFC-Est/0ns"]
+    benchmark.extra_info["p99_exact"] = exact.p99_slowdown()
+    benchmark.extra_info["p99_degenerate"] = degenerate.p99_slowdown()
+
+    # The degenerate point must not merely be close — it is the same kernel.
+    assert degenerate.p99_slowdown() == exact.p99_slowdown()
+    assert degenerate.dropped_packets == exact.dropped_packets
+    assert degenerate.events_processed == exact.events_processed
+
+    # Stale telemetry may shift tails but must not break completion.
+    for label, result in results.items():
+        assert result.completion_rate() > 0.95, (label, result.completion_rate())

@@ -1,0 +1,29 @@
+"""fig_rpc: RPC fan-out/fan-in request trees over background load.
+
+Beyond-the-paper scenario: scatter-gather request trees (responses drawn
+from the Google size CDF) run over a Google-workload background load.  The
+front-end cannot answer before its slowest leaf, so the ``rpc``-tagged flow
+tails measure the paper's short-flow-tail story under explicit fan-in.
+"""
+
+from _bench_common import bench_scale, run_config_map, write_result
+
+from repro.analysis.apps import rpc_table
+from repro.experiments.scenarios import rpc_fanout_configs
+
+
+def test_fig_rpc_fanout_tails(benchmark):
+    configs = rpc_fanout_configs(bench_scale())
+    results = benchmark.pedantic(run_config_map, args=(configs,), rounds=1, iterations=1)
+
+    table = rpc_table(results)
+    write_result("fig_rpc_fanout", table)
+
+    for label, result in results.items():
+        rpc_records = [r for r in result.flow_stats.records if r.tag == "rpc"]
+        assert rpc_records, f"{label}: no rpc-tagged flows recorded"
+        finished = [r for r in rpc_records if r.finish_ns is not None]
+        # The trees must substantially complete for the tail to mean anything;
+        # schemes with drops (plain DCQCN) may leave a straggler or two.
+        assert len(finished) >= 0.9 * len(rpc_records), label
+        benchmark.extra_info[f"rpc_flows/{label}"] = len(rpc_records)

@@ -36,7 +36,7 @@ from repro.experiments.runner import (
     _build_topology,
     _schedule_sampling,
 )
-from repro.experiments.scenarios import fig5a_configs
+from repro.experiments.scenarios import fig5a_configs, fig_est_configs
 from repro.sim import units
 from repro.sim.engine import ENGINE_BACKEND, Simulator
 from repro.sim.flow import reset_flow_ids
@@ -47,14 +47,31 @@ DEFAULT_JSON = REPO_ROOT / "BENCH_kernel_throughput.json"
 
 #: Schemes timed by the benchmark: the BFC kernel (VFID table, Bloom pauses,
 #: physical queues) and the DCQCN kernel (single FIFO + ECN marking) bracket
-#: the per-packet cost range of the supported schemes.
-BENCH_SCHEMES = ["BFC", "DCQCN"]
+#: the per-packet cost range of the supported schemes; BFC-Est rides along
+#: with stale telemetry engaged so the estimator's change-point history
+#: (recording on every occupancy change, binary search on every pause
+#: decision) is gated on packets/sec like any other kernel path.
+BENCH_SCHEMES = ["BFC", "DCQCN", "BFC-Est"]
 
 BENCH_SEED = 11
 
+#: Telemetry delay of the BFC-Est entry (staleness 0 would measure exact BFC
+#: twice — the estimator read path only runs when the signal is delayed).
+BENCH_EST_STALENESS_NS = 4_000
+
 
 def _bench_configs(duration_us: int, scale: str = "tiny") -> Dict[str, ExperimentConfig]:
-    configs = fig5a_configs(scale, schemes=BENCH_SCHEMES, seed=BENCH_SEED)
+    configs = fig5a_configs(
+        scale, schemes=[s for s in BENCH_SCHEMES if s != "BFC-Est"], seed=BENCH_SEED
+    )
+    if "BFC-Est" in BENCH_SCHEMES:
+        # The fig_est slice at one engaged-staleness point.
+        configs["BFC-Est"] = fig_est_configs(
+            scale,
+            staleness_points_ns=(BENCH_EST_STALENESS_NS,),
+            include_capacity_weighted=False,
+            seed=BENCH_SEED,
+        )[f"BFC-Est/{BENCH_EST_STALENESS_NS}ns"]
     return {
         scheme: replace(config, duration_ns=units.microseconds(duration_us))
         for scheme, config in configs.items()

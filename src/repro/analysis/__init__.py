@@ -1,5 +1,7 @@
 """Analysis of simulation output into the paper's tables and figure series."""
 
+from .apps import collective_table, graph_makespan_ns, rpc_table
+from .estimation import staleness_series, staleness_table
 from .fct import (
     FctBin,
     PAPER_SIZE_BINS,
@@ -22,6 +24,11 @@ from .report import (
 )
 
 __all__ = [
+    "collective_table",
+    "graph_makespan_ns",
+    "rpc_table",
+    "staleness_series",
+    "staleness_table",
     "FctBin",
     "PAPER_SIZE_BINS",
     "bin_slowdowns",

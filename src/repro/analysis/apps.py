@@ -1,0 +1,71 @@
+"""Analysis for the application-level workloads (collectives, RPC fan-out).
+
+These scenarios are dependency-driven (:mod:`repro.workloads.flowgraph`), so
+per-flow slowdown alone misses the story — the application metric is the
+*makespan* of the whole dependency graph (time from the first flow's launch
+to the last flow's delivery).  For collectives that is the training-step
+time; for RPC trees it bounds the user-visible response latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.sim.stats import percentile
+
+from .report import format_comparison_table
+
+
+def _tagged(result, tag: str) -> List[object]:
+    return [r for r in result.flow_stats.records if r.tag == tag]
+
+
+def graph_makespan_ns(result, tag: str) -> Optional[int]:
+    """First launch to last delivery of the tagged flows; None if unfinished.
+
+    An unfinished flow means the graph never completed inside the simulated
+    window, so there is no honest makespan to report.
+    """
+    records = _tagged(result, tag)
+    if not records or any(r.finish_ns is None for r in records):
+        return None
+    return max(r.finish_ns for r in records) - min(r.start_ns for r in records)
+
+
+def _summary_row(result, tag: str) -> Dict[str, float]:
+    records = _tagged(result, tag)
+    finished = [r for r in records if r.finish_ns is not None]
+    slowdowns = [r.slowdown for r in finished if r.slowdown is not None]
+    row: Dict[str, float] = {
+        "flows": float(len(records)),
+        "completion %": 100.0 * len(finished) / len(records) if records else 0.0,
+    }
+    if slowdowns:
+        row["p50 slowdown"] = percentile(slowdowns, 50)
+        row["p99 slowdown"] = percentile(slowdowns, 99)
+    makespan = graph_makespan_ns(result, tag)
+    if makespan is not None:
+        row["makespan (us)"] = makespan / 1_000.0
+    return row
+
+
+def collective_table(results: Mapping[str, object], tag: str = "collective") -> str:
+    """Per-config makespan/slowdown table for the fig_collective scenario."""
+    rows = {label: _summary_row(result, tag) for label, result in results.items()}
+    return format_comparison_table(
+        "fig_collective: all-reduce / all-to-all completion under each scheme",
+        rows,
+        columns=["makespan (us)", "p50 slowdown", "p99 slowdown", "completion %"],
+        fmt="{:.2f}",
+    )
+
+
+def rpc_table(results: Mapping[str, object], tag: str = "rpc") -> str:
+    """Per-scheme fan-in tail table for the fig_rpc scenario."""
+    rows = {label: _summary_row(result, tag) for label, result in results.items()}
+    return format_comparison_table(
+        "fig_rpc: RPC fan-out/fan-in tails under background load",
+        rows,
+        columns=["makespan (us)", "p50 slowdown", "p99 slowdown", "completion %"],
+        fmt="{:.2f}",
+    )

@@ -1,0 +1,74 @@
+"""Analysis for the fig_est telemetry-staleness sweep (BFC-Est).
+
+The sweep (:func:`repro.experiments.scenarios.fig_est_configs`) runs an
+exact-occupancy BFC baseline plus the estimated-queue variants at several
+telemetry staleness points.  This module reduces the results to the figure's
+table: per-variant, per-staleness p99 FCT slowdown, absolute and relative to
+the exact baseline — i.e. *how much pause-decision quality does BFC lose
+when its occupancy signal is D nanoseconds old?*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.sim.stats import percentile
+
+from .report import format_comparison_table
+
+
+def _p99_slowdown(result) -> Optional[float]:
+    values = [
+        r.slowdown
+        for r in result.flow_stats.records
+        if r.slowdown is not None and not r.is_incast
+    ]
+    if not values:
+        return None
+    return percentile(values, 99)
+
+
+def staleness_series(
+    results: Mapping[str, object],
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Per-variant ``[(staleness_ns, p99 slowdown), ...]`` series.
+
+    ``results`` maps fig_est labels (``"BFC"``, ``"BFC-Est/4000ns"``, ...)
+    to :class:`~repro.experiments.runner.ExperimentResult` objects; the
+    staleness is parsed back out of the label.
+    """
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for label, result in results.items():
+        p99 = _p99_slowdown(result)
+        if p99 is None:
+            continue
+        if "/" in label:
+            variant, point = label.rsplit("/", 1)
+            staleness = int(point.rstrip("ns"))
+        else:
+            variant, staleness = label, 0
+        series.setdefault(variant, []).append((staleness, p99))
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def staleness_table(results: Mapping[str, object]) -> str:
+    """The fig_est table: p99 slowdown vs staleness, relative to exact BFC."""
+    series = staleness_series(results)
+    baseline = series.pop("BFC", None)
+    baseline_p99 = baseline[0][1] if baseline else None
+    rows: Dict[str, Dict[str, float]] = {}
+    for variant, points in sorted(series.items()):
+        for staleness, p99 in points:
+            row = rows.setdefault(f"{variant} @ {staleness}ns", {})
+            row["p99 slowdown"] = p99
+            if baseline_p99:
+                row["vs exact BFC"] = p99 / baseline_p99
+    if baseline_p99 is not None:
+        rows["BFC (exact)"] = {"p99 slowdown": baseline_p99, "vs exact BFC": 1.0}
+    return format_comparison_table(
+        "fig_est: p99 FCT slowdown vs telemetry staleness",
+        rows,
+        columns=["p99 slowdown", "vs exact BFC"],
+    )

@@ -86,6 +86,10 @@ FIGURE_FACTORIES = {
     "fig12": scenarios.fig12_configs,
     "fig13": scenarios.fig13_configs,
     "fig14": scenarios.fig14_configs,
+    # Beyond-the-paper scenarios (see docs/workloads.md).
+    "fig_est": scenarios.fig_est_configs,
+    "fig_collective": scenarios.collective_configs,
+    "fig_rpc": scenarios.rpc_fanout_configs,
 }
 
 

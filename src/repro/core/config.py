@@ -57,6 +57,21 @@ class BfcConfig:
         Ablation switch for §4.2 "Physical queue assignment": the straw
         proposal (BFC-VFID) statically hashes VFIDs onto physical queues
         instead of dynamically assigning free queues.
+    telemetry_staleness_ns:
+        BFC-Est: pause/resume decisions observe queue occupancy as it was
+        this long ago (stale INT-style telemetry).  0 = ideal per-hop state;
+        together with ``telemetry_sample_period_ns == 0`` this is exactly
+        the paper's BFC (the estimator shim is not even allocated).
+    telemetry_sample_period_ns:
+        BFC-Est: occupancy is observed only on this periodic grid; decisions
+        see the value at the most recent grid instant (after the staleness
+        shift).  0 = continuous observation.
+    capacity_weight_reference_bps:
+        BFC-Est-Cap: when set, each egress port's pause threshold is scaled
+        by ``link_rate_bps / capacity_weight_reference_bps`` (capacity-aware
+        backpressure weighting, arXiv:1309.6484), so faster links tolerate
+        proportionally more buffering before pausing upstream.  ``None``
+        (the default) keeps the paper's unweighted threshold.
     """
 
     num_physical_queues: int = 32
@@ -73,6 +88,9 @@ class BfcConfig:
     use_high_priority_queue: bool = True
     limit_resume_rate: bool = True
     static_queue_assignment: bool = False
+    telemetry_staleness_ns: int = 0
+    telemetry_sample_period_ns: int = 0
+    capacity_weight_reference_bps: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -94,6 +112,15 @@ class BfcConfig:
             raise ValueError("pause_threshold_factor must be positive")
         if self.mtu <= 0:
             raise ValueError("mtu must be positive")
+        if self.telemetry_staleness_ns < 0:
+            raise ValueError("telemetry_staleness_ns must be >= 0")
+        if self.telemetry_sample_period_ns < 0:
+            raise ValueError("telemetry_sample_period_ns must be >= 0")
+        if (
+            self.capacity_weight_reference_bps is not None
+            and self.capacity_weight_reference_bps <= 0
+        ):
+            raise ValueError("capacity_weight_reference_bps must be positive when set")
 
     # -- derived quantities -----------------------------------------------------
 
@@ -131,3 +158,15 @@ def bfc_no_high_priority_config(base: Optional[BfcConfig] = None) -> BfcConfig:
 def bfc_no_buffer_opt_config(base: Optional[BfcConfig] = None) -> BfcConfig:
     """BFC without the two-resumes-per-RTT limit (BFC-BufferOpt)."""
     return (base or BfcConfig()).with_overrides(limit_resume_rate=False)
+
+
+def bfc_estimated_config(
+    staleness_ns: int = 0,
+    sample_period_ns: int = 0,
+    base: Optional[BfcConfig] = None,
+) -> BfcConfig:
+    """BFC-Est: pause decisions driven by stale/sampled occupancy telemetry."""
+    return (base or BfcConfig()).with_overrides(
+        telemetry_staleness_ns=staleness_ns,
+        telemetry_sample_period_ns=sample_period_ns,
+    )

@@ -26,6 +26,7 @@ from .config import BfcConfig
 from .pause import PauseThresholds, ResumeList
 from .queues import PhysicalQueuePool
 from .scheduler import HIGH_PRIORITY_QUEUE, OVERFLOW_QUEUE, BfcScheduler
+from .telemetry import ACTIVE_COUNT_KEY, QueueTelemetry
 from .vfid import FlowEntry, packet_vfid
 
 
@@ -72,6 +73,18 @@ class BfcEgressDiscipline:
         self._flow_table = agent.flow_table
         self._codec = agent.codec
         self._num_vfids = self.config.num_vfids
+        self._sim = agent.sim
+        # BFC-Est: a stale/sampled occupancy view feeding the pause rule.
+        # Only allocated when the estimator knobs are set, so ideal BFC's
+        # hot path pays exactly one `is None` test and BFC-Est at
+        # staleness 0 / period 0 degenerates to BFC bit for bit.
+        if self.config.telemetry_staleness_ns > 0 or self.config.telemetry_sample_period_ns > 0:
+            self._telemetry: Optional[QueueTelemetry] = QueueTelemetry(
+                self.config.telemetry_staleness_ns,
+                self.config.telemetry_sample_period_ns,
+            )
+        else:
+            self._telemetry = None
         agent.register_discipline(self)
 
     # ------------------------------------------------------------------ enqueue --
@@ -104,6 +117,10 @@ class BfcEgressDiscipline:
         occupied = self.pool.occupied_queues()
         if occupied > self.stats.max_occupied_queues:
             self.stats.max_occupied_queues = occupied
+        if self._telemetry is not None:
+            now = self._sim.now
+            self._telemetry.record(queue, now, queue_bytes)
+            self._telemetry.record(ACTIVE_COUNT_KEY, now, self._raw_active_count())
         self._check_pause(entry, queue_bytes)
         return True
 
@@ -121,7 +138,17 @@ class BfcEgressDiscipline:
         """Pause the arriving packet's flow if its queue exceeds the threshold."""
         if entry.paused_upstream:
             return
-        threshold = self.thresholds.threshold_bytes(self.active_queue_count())
+        telemetry = self._telemetry
+        if telemetry is None:
+            active = self.active_queue_count()
+        else:
+            # BFC-Est: the decision sees occupancy as the (stale, sampled)
+            # telemetry channel reports it, not as it is right now.
+            now = self._sim.now
+            queue_bytes = telemetry.read(entry.queue, now)
+            raw = telemetry.read(ACTIVE_COUNT_KEY, now)
+            active = raw if raw > 1 else 1
+        threshold = self.thresholds.threshold_bytes(active)
         if queue_bytes > threshold:
             if self.agent.pause_flow(entry.vfid, entry.ingress):
                 self.stats.pauses_sent += 1
@@ -141,6 +168,15 @@ class BfcEgressDiscipline:
             return None
         packet, source_queue = result
         self.stats.dequeued_packets += 1
+        if self._telemetry is not None:
+            # Record before the resume check reads: a sample taken exactly at
+            # this instant reflects the state after this departure.
+            now = self._sim.now
+            if source_queue >= 0:
+                self._telemetry.record(
+                    source_queue, now, self.scheduler.queue_bytes(source_queue)
+                )
+            self._telemetry.record(ACTIVE_COUNT_KEY, now, self._raw_active_count())
         self._handle_departure(packet, source_queue)
         return packet
 
@@ -179,13 +215,21 @@ class BfcEgressDiscipline:
         """§3.5: consider resuming a paused flow when its queue drains below Th."""
         if not entry.paused_upstream:
             return
+        telemetry = self._telemetry
         queue = entry.queue if entry.queue is not None else source_queue
         if queue in (HIGH_PRIORITY_QUEUE, OVERFLOW_QUEUE) or queue is None:
             queue_bytes = 0
             queue = 0
+        elif telemetry is not None:
+            queue_bytes = telemetry.read(queue, self._sim.now)
         else:
             queue_bytes = self.scheduler.queue_bytes(queue)
-        threshold = self.thresholds.threshold_bytes(self.active_queue_count())
+        if telemetry is None:
+            active = self.active_queue_count()
+        else:
+            raw = telemetry.read(ACTIVE_COUNT_KEY, self._sim.now)
+            active = raw if raw > 1 else 1
+        threshold = self.thresholds.threshold_bytes(active)
         if queue_bytes > threshold:
             return
         if self.config.limit_resume_rate:
@@ -244,23 +288,33 @@ class BfcEgressDiscipline:
 
     # ------------------------------------------------------------------ queries --
 
-    def active_queue_count(self) -> int:
-        """Nactive: non-empty queues whose head is not paused downstream."""
+    def _raw_active_count(self) -> int:
+        """Non-empty queues whose head is not paused downstream (no floor)."""
         nonempty = self.scheduler.nonempty_ids()
         if self.downstream_filter is None:
-            count = len(nonempty)
-        else:
-            eligible = self._queue_eligible
-            count = 0
-            for qid in nonempty:
-                if eligible(qid):
-                    count += 1
-        return max(1, count)
+            return len(nonempty)
+        eligible = self._queue_eligible
+        count = 0
+        for qid in nonempty:
+            if eligible(qid):
+                count += 1
+        return count
+
+    def active_queue_count(self) -> int:
+        """Nactive: non-empty queues whose head is not paused downstream."""
+        count = self._raw_active_count()
+        return count if count > 1 else 1
 
     def apply_downstream_filter(self, bitmap: Optional[bytes]) -> None:
         """Install the most recent Bloom filter received from the next hop."""
         self.downstream_filter = bitmap
         self._eligible_memo = {}
+        if self._telemetry is not None:
+            # Eligibility just changed under every queue: the active count is
+            # a new change point even though no packet moved.
+            self._telemetry.record(
+                ACTIVE_COUNT_KEY, self._sim.now, self._raw_active_count()
+            )
 
     def occupied_physical_queues(self) -> int:
         return self.pool.occupied_queues()

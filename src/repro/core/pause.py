@@ -34,6 +34,13 @@ class PauseThresholds:
         self._feedback_bytes = (
             (self.hop_rtt_ns + self.pause_interval_ns) * link_rate_bps / (8 * 1e9)
         )
+        # BFC-Est-Cap: capacity-aware weighting (arXiv:1309.6484) scales the
+        # threshold by this port's rate relative to a reference rate, so a
+        # faster link tolerates proportionally more buffering before pausing.
+        # On a homogeneous fabric with reference == link rate the weight is
+        # exactly 1.0 and the threshold is byte-identical to plain BFC.
+        if config.capacity_weight_reference_bps is not None:
+            self._feedback_bytes *= link_rate_bps / config.capacity_weight_reference_bps
         # Th is queried once per enqueued/dequeued packet and only ever for
         # n_active in [1, num_physical_queues + 1]; memoize per count.
         self._by_count: dict = {}

@@ -34,6 +34,7 @@ from repro.sim.stats import (
 from repro.topology.clos import ClosParams, build_leaf_spine
 from repro.topology.crossdc import CrossDcParams, build_cross_dc
 from repro.topology.topology import Topology
+from repro.workloads.flowgraph import FlowGraph, FlowGraphLauncher
 from repro.workloads.generator import WorkloadSpec, generate_workload
 from repro.workloads.incast import IncastSpec, generate_incast_series, incast_period_for_load
 from repro.workloads.openloop import OpenLoopSource, OpenLoopSpec
@@ -57,6 +58,16 @@ class TrafficSpec:
     how many flows the process offers.  It composes with the trace-based
     kinds (the trace part is harvested at the end of the run as always) but
     not with sharding (``shards > 1`` rejects it).
+
+    ``flow_graph`` holds dependency-driven workloads: any spec (or sequence
+    of specs) exposing ``generate(host_ids, seed) -> FlowGraph``, e.g.
+    :class:`~repro.workloads.collectives.CollectiveSpec` or
+    :class:`~repro.workloads.rpc.RpcFanoutSpec`.  Graph flows *are*
+    materialized into the trace (so ``flows_offered`` and the final harvest
+    account for them), but dependents launch at run time when their
+    prerequisites complete; the graph is generated *after* the trace-based
+    kinds so flow-id allocation stays deterministic.  Flow graphs compose
+    with sharding and with ``open_loop``.
     """
 
     workload: Optional[WorkloadSpec] = None
@@ -67,6 +78,7 @@ class TrafficSpec:
     incast_receiver: Optional[int] = None
     explicit_flows: Optional[FlowTrace] = None
     open_loop: Optional[OpenLoopSpec] = None
+    flow_graph: Optional[object] = None
     seed: int = 1
 
     def build(
@@ -113,6 +125,25 @@ class TrafficSpec:
         if self.explicit_flows is not None:
             trace = trace.merge(self.explicit_flows)
         return trace
+
+    def build_graph(self, host_ids: Sequence[int]) -> Optional[FlowGraph]:
+        """Generate the dependency flow graph, if any (after :meth:`build`).
+
+        Must be called *after* :meth:`build` so graph flow ids come after the
+        trace-based ones — this keeps flow-id allocation deterministic across
+        single-process, parallel and sharded runs.
+        """
+        if self.flow_graph is None:
+            return None
+        specs = (
+            self.flow_graph
+            if isinstance(self.flow_graph, (list, tuple))
+            else (self.flow_graph,)
+        )
+        graph = FlowGraph()
+        for offset, spec in enumerate(specs):
+            graph = graph.merge(spec.generate(host_ids, seed=self.seed + 2 + offset))
+        return graph.validate()
 
 
 @dataclass
@@ -514,6 +545,15 @@ def build_simulation(
     trace = config.traffic.build(
         topo.host_ids(), topo.host_link_rate_bps, config.duration_ns
     )
+    graph = config.traffic.build_graph(topo.host_ids())
+    if graph is not None:
+        # Graph flows are part of the trace (accounting, harvest); the
+        # launcher schedules the dependency-gated ones as prerequisites
+        # complete.  Installing here covers the single-process runner and
+        # every shard world alike (both start flows via topo.start_flow,
+        # which registers-but-does-not-schedule flows with depends_on).
+        trace = trace.merge(graph.trace())
+        FlowGraphLauncher(graph, topo).install()
     return sim, env, topo, trace
 
 
@@ -631,7 +671,18 @@ def run_experiment(
                 flow_registry.pop(flow.flow_id, None)
 
         for host in topo.hosts.values():
-            host.on_flow_complete = _on_complete
+            previous = host.on_flow_complete
+            if previous is None:
+                host.on_flow_complete = _on_complete
+            else:
+                # Chain behind an installed FlowGraphLauncher hook.  A plain
+                # closure is fine here: open-loop traffic is rejected under
+                # sharding, so this hook is never snapshotted.
+                def _chained(flow: Flow, now_ns: int, _previous=previous) -> None:
+                    _previous(flow, now_ns)
+                    _on_complete(flow, now_ns)
+
+                host.on_flow_complete = _chained
         source.start()
         if release:
             horizon_ns = max(4 * env.host_rto_ns(), 8 * env.base_rtt_ns)

@@ -23,10 +23,12 @@ from repro.core.config import BfcConfig
 from repro.sim import units
 from repro.topology.clos import ClosParams, paper_t1_params, scaled_params
 from repro.topology.crossdc import CrossDcParams
+from repro.workloads.collectives import CollectiveSpec
 from repro.workloads.distributions import FB_HADOOP, GOOGLE, WEBSEARCH, EmpiricalSizeDistribution
 from repro.workloads.generator import WorkloadSpec, generate_workload
 from repro.workloads.longlived import long_lived_flows, many_to_one_flows
 from repro.workloads.openloop import OpenLoopSpec
+from repro.workloads.rpc import RpcFanoutSpec
 
 from .runner import ExperimentConfig, TrafficSpec
 
@@ -574,6 +576,153 @@ def fig14_configs(
 
 
 # ---------------------------------------------------------------------------
+# fig_est — BFC-Est telemetry-staleness sensitivity (beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+def fig_est_configs(
+    scale_name: str = "tiny",
+    staleness_points_ns: Sequence[int] = (0, 2_000, 4_000, 8_000, 16_000),
+    include_capacity_weighted: bool = True,
+    sample_period_ns: int = 0,
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """How much pause-decision quality does BFC lose on stale occupancy?
+
+    The paper's BFC reads exact queue occupancy at enqueue time.  ``BFC-Est``
+    instead reads delayed/sampled telemetry (INT-style), and this sweep
+    measures the degradation: an exact-BFC baseline plus ``BFC-Est`` at each
+    staleness point (``0`` is the degenerate point, byte-identical to BFC)
+    on the Fig. 5a workload.  With ``include_capacity_weighted`` the
+    capacity-weighted variant (``BFC-Est-Cap``) rides along at every point.
+    """
+    scale = get_scale(scale_name)
+    traffic = _background_traffic(scale, GOOGLE, 0.60, incast_load=0.05, seed=seed)
+    configs: Dict[str, ExperimentConfig] = {
+        "BFC": _base_config("fig_est/BFC", "BFC", scale, traffic, seed=seed)
+    }
+    schemes = ["BFC-Est"] + (["BFC-Est-Cap"] if include_capacity_weighted else [])
+    for scheme in schemes:
+        for staleness in staleness_points_ns:
+            label = f"{scheme}/{staleness}ns"
+            configs[label] = _base_config(
+                f"fig_est/{label}",
+                scheme,
+                scale,
+                traffic,
+                seed=seed,
+                bfc_config=BfcConfig(
+                    mtu=scale.mtu,
+                    telemetry_staleness_ns=staleness,
+                    telemetry_sample_period_ns=sample_period_ns,
+                ),
+            )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# fig_collective — ML-training collectives (beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+def collective_configs(
+    scale_name: str = "tiny",
+    kinds: Sequence[str] = ("ring-allreduce", "tree-allreduce", "all-to-all"),
+    schemes: Sequence[str] = ("BFC", "BFC-Est", "DCQCN", "HPCC"),
+    iterations: int = 3,
+    est_staleness_ns: int = 4_000,
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """Self-clocked collectives: per-iteration time under each scheme.
+
+    Every host is a worker; each iteration moves one chunk per worker per
+    step with a model-compute gap between iterations.  Because step ``s+1``
+    cannot start until step ``s``'s chunk arrived, any queueing delay a
+    scheme lets build up stalls the whole ring/tree — the figure reports the
+    completion time of the final iteration (collective makespan).
+    """
+    scale = get_scale(scale_name)
+    # One chunk is ~20 us of host line rate: long enough to congest shared
+    # links, short enough that tiny-scale runs stay in the golden-run regime.
+    chunk_bytes = max(20_000, int(scale.clos.link_rate_bps * 20e-6 / 8))
+    configs: Dict[str, ExperimentConfig] = {}
+    for kind in kinds:
+        spec = CollectiveSpec(
+            kind=kind,
+            chunk_bytes=chunk_bytes,
+            iterations=iterations,
+            compute_delay_ns=10_000,
+        )
+        traffic = TrafficSpec(flow_graph=spec, seed=seed)
+        for scheme in schemes:
+            label = f"{kind}/{scheme}"
+            overrides = {}
+            if scheme.startswith("BFC-Est"):
+                # Give the estimator variants a non-trivial signal delay —
+                # at staleness 0 they are byte-identical to exact BFC.
+                overrides["bfc_config"] = BfcConfig(
+                    mtu=scale.mtu, telemetry_staleness_ns=est_staleness_ns
+                )
+            configs[label] = _base_config(
+                f"fig_collective/{label}", scheme, scale, traffic, seed=seed,
+                duration_ns=2 * scale.duration_ns, **overrides,
+            )
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# fig_rpc — RPC fan-out/fan-in request trees (beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+def rpc_fanout_configs(
+    scale_name: str = "tiny",
+    schemes: Sequence[str] = ("BFC", "BFC-Est", "DCQCN", "HPCC"),
+    fan_out: int = 3,
+    depth: int = 2,
+    background_load: float = 0.40,
+    est_staleness_ns: int = 4_000,
+    seed: int = 1,
+) -> Dict[str, ExperimentConfig]:
+    """Scatter-gather request trees over background traffic: fan-in tails.
+
+    A stream of fan-out/fan-in RPC trees (responses drawn from the Google
+    CDF) runs over a Google-workload background load.  The front-end cannot
+    answer before the slowest leaf, so the figure's metric — per-flow
+    slowdown of the ``rpc``-tagged flows — captures exactly the paper's
+    short-flow-tail story under a fan-in pattern it never evaluated.
+    """
+    scale = get_scale(scale_name)
+    num_requests = max(4, scale.clos.num_hosts // 2)
+    spec = RpcFanoutSpec(
+        num_requests=num_requests,
+        fan_out=fan_out,
+        depth=depth,
+        mean_interarrival_ns=max(10_000, scale.duration_ns // (2 * num_requests)),
+        compute_delay_ns=2_000,
+    )
+    workload = WorkloadSpec(
+        distribution=GOOGLE,
+        target_load=background_load,
+        duration_ns=scale.duration_ns,
+        max_flow_size=scale.max_flow_size,
+    )
+    traffic = TrafficSpec(workload=workload, flow_graph=spec, seed=seed)
+    configs: Dict[str, ExperimentConfig] = {}
+    for scheme in schemes:
+        overrides = {}
+        if scheme.startswith("BFC-Est"):
+            overrides["bfc_config"] = BfcConfig(
+                mtu=scale.mtu, telemetry_staleness_ns=est_staleness_ns
+            )
+        configs[scheme] = _base_config(
+            f"fig_rpc/{scheme}", scheme, scale, traffic, seed=seed,
+            duration_ns=2 * scale.duration_ns, **overrides,
+        )
+    return configs
+
+
+# ---------------------------------------------------------------------------
 # Campaign forms of the per-figure factories
 # ---------------------------------------------------------------------------
 #
@@ -715,4 +864,34 @@ def fig14_campaign(
 ):
     return _figure_campaign(
         "fig14", lambda s: fig14_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )
+
+
+def fig_est_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig_est", lambda s: fig_est_configs(scale_name, seed=s, **kwargs), repeats, seed
+    )
+
+
+def collective_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig_collective",
+        lambda s: collective_configs(scale_name, seed=s, **kwargs),
+        repeats,
+        seed,
+    )
+
+
+def rpc_fanout_campaign(
+    scale_name: str = "tiny", seed: int = 1, repeats: int = 1, **kwargs
+):
+    return _figure_campaign(
+        "fig_rpc",
+        lambda s: rpc_fanout_configs(scale_name, seed=s, **kwargs),
+        repeats,
+        seed,
     )

@@ -17,8 +17,14 @@ Scheme                 Switch                                      Host / conges
 ``BFC-VFID``           BFC with static hash queue assignment       line rate, BFC NIC
 ``BFC-HighPriorityQ``  BFC without the high-priority queue         line rate, BFC NIC
 ``BFC-BufferOpt``      BFC without the resume-rate limit           line rate, BFC NIC
+``BFC-Est``            BFC pausing on stale/sampled telemetry      line rate, BFC NIC
+``BFC-Est-Cap``        BFC-Est + capacity-weighted thresholds      line rate, BFC NIC
 ``PFC``                FIFO egress, PFC only                       line rate (no CC)
 =====================  ==========================================  =============================
+
+The four paper schemes (``BFC`` and its ablations) force the estimator knobs
+off, so a ``BfcConfig`` carrying ``telemetry_staleness_ns`` never perturbs
+the paper-faithful baselines; only ``BFC-Est``/``BFC-Est-Cap`` honour them.
 """
 
 from __future__ import annotations
@@ -464,6 +470,16 @@ def _pfc_scheme():
     )
 
 
+#: Overrides keeping the paper-faithful BFC schemes on ideal per-hop state:
+#: a BfcConfig carrying estimator knobs (e.g. from a staleness sweep) must
+#: never bend the baselines those sweeps are compared against.
+_IDEAL_TELEMETRY: Dict[str, object] = {
+    "telemetry_staleness_ns": 0,
+    "telemetry_sample_period_ns": 0,
+    "capacity_weight_reference_bps": None,
+}
+
+
 def _bfc_spec(name: str, description: str, config_overrides: Dict[str, object]) -> SchemeSpec:
     """Build a BFC scheme variant whose :class:`BfcConfig` is overridden."""
 
@@ -474,6 +490,37 @@ def _bfc_spec(name: str, description: str, config_overrides: Dict[str, object]) 
     def make_host(env: SchemeEnvironment, host_name: str, host_id: int) -> Host:
         config = env.effective_bfc_config().with_overrides(**config_overrides)
         return _bfc_host(env, host_name, host_id, config)
+
+    return SchemeSpec(
+        name=name, description=description, make_switch=make_switch, make_host=make_host, uses_bfc=True
+    )
+
+
+def _bfc_est_spec(name: str, description: str, *, capacity_weighted: bool = False) -> SchemeSpec:
+    """Build an estimated-queue BFC variant (honours the estimator knobs).
+
+    Unlike :func:`_bfc_spec`, the effective config is a function of the
+    environment: ``BFC-Est-Cap``'s capacity weight defaults to the fabric's
+    base link rate (weight 1.0 on every homogeneous link; only ports whose
+    rate differs — e.g. cross-DC gateway links — see a different threshold).
+    """
+
+    def est_config(env: SchemeEnvironment) -> BfcConfig:
+        config = env.effective_bfc_config()
+        if capacity_weighted:
+            if config.capacity_weight_reference_bps is None:
+                config = config.with_overrides(
+                    capacity_weight_reference_bps=env.link_rate_bps
+                )
+        elif config.capacity_weight_reference_bps is not None:
+            config = config.with_overrides(capacity_weight_reference_bps=None)
+        return config
+
+    def make_switch(env: SchemeEnvironment, switch_name: str, tier: str) -> Switch:
+        return _bfc_switch(env, switch_name, tier, est_config(env))
+
+    def make_host(env: SchemeEnvironment, host_name: str, host_id: int) -> Host:
+        return _bfc_host(env, host_name, host_id, est_config(env))
 
     return SchemeSpec(
         name=name, description=description, make_switch=make_switch, make_host=make_host, uses_bfc=True
@@ -502,5 +549,21 @@ for _name, _description, _overrides in (
         {"limit_resume_rate": False},
     ),
 ):
-    register_scheme_spec(_bfc_spec(_name, _description, _overrides))
+    register_scheme_spec(_bfc_spec(_name, _description, dict(_overrides, **_IDEAL_TELEMETRY)))
 del _name, _description, _overrides
+
+register_scheme_spec(
+    _bfc_est_spec(
+        "BFC-Est",
+        "BFC whose pause decisions use delayed/sampled queue telemetry "
+        "(telemetry_staleness_ns / telemetry_sample_period_ns; exact at 0/0)",
+    )
+)
+register_scheme_spec(
+    _bfc_est_spec(
+        "BFC-Est-Cap",
+        "BFC-Est with capacity-weighted pause thresholds "
+        "(threshold scaled by link rate relative to the fabric base rate)",
+        capacity_weighted=True,
+    )
+)

@@ -262,8 +262,11 @@ def _harvest_shard(
     receiver_flows: Dict[int, tuple] = {}
     for flow in trace:
         if shard_of[topo.hosts[flow.src].name] == shard_id:
+            # start_ns rides along because dependency-launched flows (flow
+            # graphs) stamp their actual start at launch time on this shard.
             sender_flows[flow.flow_id] = (
-                flow.num_packets, flow.first_tx_ns, flow.retransmitted_packets,
+                flow.num_packets, flow.first_tx_ns,
+                flow.retransmitted_packets, flow.start_ns,
             )
         if shard_of[topo.hosts[flow.dst].name] == shard_id:
             receiver_flows[flow.flow_id] = (flow.finish_ns, flow.bytes_delivered)
@@ -548,7 +551,8 @@ def _merge_results(
     for flow in trace:
         sent = sender_fields.get(flow.flow_id)
         if sent is not None:
-            flow.num_packets, flow.first_tx_ns, flow.retransmitted_packets = sent
+            (flow.num_packets, flow.first_tx_ns,
+             flow.retransmitted_packets, flow.start_ns) = sent
         received = receiver_fields.get(flow.flow_id)
         if received is not None:
             flow.finish_ns, flow.bytes_delivered = received

@@ -110,8 +110,16 @@ class Topology:
     # -- flow helpers -------------------------------------------------------------------
 
     def start_flow(self, flow: Flow) -> None:
-        """Schedule a flow to start at its ``start_ns`` on the source host."""
+        """Schedule a flow to start at its ``start_ns`` on the source host.
+
+        Flows with ``depends_on`` are registered but *not* scheduled: a
+        :class:`repro.workloads.flowgraph.FlowGraphLauncher` launches them
+        when their prerequisite flows complete.  The registration keeps the
+        flow visible to completion bookkeeping and the results harvest.
+        """
         self.flow_registry[flow.flow_id] = flow
+        if flow.depends_on:
+            return
         host = self.host(flow.src)
         self.sim.schedule_at(max(self.sim.now, flow.start_ns), host.start_flow, flow)
 

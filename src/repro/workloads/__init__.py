@@ -1,5 +1,6 @@
-"""Workload synthesis: flow-size distributions, arrival generators, incast."""
+"""Workload synthesis: size distributions, arrival generators, incast, flow graphs."""
 
+from .collectives import COLLECTIVE_KINDS, CollectiveSpec
 from .distributions import (
     EmpiricalSizeDistribution,
     FB_HADOOP,
@@ -8,10 +9,12 @@ from .distributions import (
     WORKLOADS,
     byte_weighted_cdf,
 )
+from .flowgraph import FlowGraph, FlowGraphError, FlowGraphLauncher
 from .generator import WorkloadSpec, generate_workload, load_to_arrival_rate
 from .incast import IncastSpec, generate_incast_series, incast_period_for_load
 from .longlived import long_lived_flows, many_to_one_flows
 from .openloop import OpenLoopSource, OpenLoopSpec
+from .rpc import RpcFanoutSpec
 from .trace import FlowTrace
 
 __all__ = [
@@ -32,4 +35,10 @@ __all__ = [
     "OpenLoopSource",
     "OpenLoopSpec",
     "FlowTrace",
+    "FlowGraph",
+    "FlowGraphError",
+    "FlowGraphLauncher",
+    "COLLECTIVE_KINDS",
+    "CollectiveSpec",
+    "RpcFanoutSpec",
 ]

@@ -1,0 +1,267 @@
+"""ML-training collective workloads as dependency-driven flow graphs.
+
+Distributed training spends most of its network time in collectives: every
+iteration ends with a gradient exchange (all-reduce) and some models add an
+all-to-all (mixture-of-experts routing, embedding exchange).  Unlike the
+paper's Poisson-arrival traces these workloads are *self-clocked* — step
+``s+1`` of a ring cannot start until step ``s``'s chunk has arrived — so a
+congestion-control scheme that delays one chunk stalls the whole ring.  That
+coupling is exactly what the flow-graph launcher
+(:mod:`repro.workloads.flowgraph`) models.
+
+Three patterns are provided, selected by :class:`CollectiveSpec.kind`:
+
+``ring-allreduce``
+    The classic bandwidth-optimal ring: ``2*(N-1)`` steps per iteration
+    (reduce-scatter then all-gather).  In every step each worker ``i`` sends
+    one chunk to ``(i+1) % N``; the step-``s+1`` send of worker ``i`` depends
+    on the step-``s`` chunk arriving from ``(i-1) % N``.
+
+``tree-allreduce``
+    A binary reduction tree (heap indexing, parent ``(i-1)//2``): reduce up
+    (a node sends to its parent once all children's chunks arrived) then
+    broadcast down (a node forwards to each child after its parent's chunk
+    arrived).
+
+``all-to-all``
+    ``N-1`` phases; in phase ``p`` worker ``i`` sends to ``(i+p) % N``, and
+    may do so only after its phase-``p-1`` receive (from ``(i-(p-1)) % N``)
+    has completed — a synchronized shuffle.
+
+Iterations chain through an optional ``compute_delay_ns`` (forward/backward
+pass between exchanges).  All dependency edges satisfy the launcher's
+locality invariant ``dep.dst == dependent.src`` by construction, so the
+workloads compose with sharded execution unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.flow import Flow
+
+from .flowgraph import FlowGraph
+
+COLLECTIVE_KINDS = ("ring-allreduce", "tree-allreduce", "all-to-all")
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """Configuration of one collective job.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`COLLECTIVE_KINDS`.
+    num_workers:
+        Workers participating; ``0`` (default) uses every host of the
+        experiment.  When fewer than the host count, workers are placed on a
+        seed-driven random subset so repeated jobs don't always share racks.
+    chunk_bytes:
+        Bytes per flow (per step and peer).  For ring all-reduce this is the
+        per-step chunk, i.e. ``gradient_bytes / N`` of a real ring.
+    iterations:
+        Training iterations; each runs the full collective once.
+    compute_delay_ns:
+        Model compute inserted between an iteration's last arrival and the
+        next iteration's first send.
+    start_ns:
+        Launch time of the first iteration's root flows.
+    tag:
+        Label stamped on every generated flow (analysis filters on it).
+    """
+
+    kind: str = "ring-allreduce"
+    num_workers: int = 0
+    chunk_bytes: int = 64_000
+    iterations: int = 1
+    compute_delay_ns: int = 0
+    start_ns: int = 0
+    tag: str = "collective"
+
+    def validate(self) -> None:
+        if self.kind not in COLLECTIVE_KINDS:
+            raise ValueError(
+                f"unknown collective kind {self.kind!r}; expected one of {COLLECTIVE_KINDS}"
+            )
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 = all hosts)")
+        if self.num_workers == 1:
+            raise ValueError("a collective needs at least 2 workers")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.compute_delay_ns < 0 or self.start_ns < 0:
+            raise ValueError("delays must be non-negative")
+
+    # -- generation -------------------------------------------------------------------
+
+    def generate(self, host_ids: Sequence[int], seed: int = 0) -> FlowGraph:
+        """Build the flow graph for this job on the given hosts."""
+        self.validate()
+        workers = self._place_workers(host_ids, seed)
+        src_port = 2_000 + (seed % 40_000)
+        if self.kind == "ring-allreduce":
+            graph = _ring_allreduce(self, workers, src_port)
+        elif self.kind == "tree-allreduce":
+            graph = _tree_allreduce(self, workers, src_port)
+        else:
+            graph = _all_to_all(self, workers, src_port)
+        return graph.validate()
+
+    def _place_workers(self, host_ids: Sequence[int], seed: int) -> List[int]:
+        hosts = list(host_ids)
+        if len(hosts) < 2:
+            raise ValueError("collective workloads need at least 2 hosts")
+        count = self.num_workers or len(hosts)
+        if count > len(hosts):
+            raise ValueError(
+                f"num_workers={count} exceeds the {len(hosts)} available hosts"
+            )
+        if count == len(hosts):
+            return hosts
+        rng = random.Random(seed)
+        return sorted(rng.sample(hosts, count))
+
+
+def _flow(spec: CollectiveSpec, src: int, dst: int, src_port: int) -> Flow:
+    return Flow(
+        src=src,
+        dst=dst,
+        size=spec.chunk_bytes,
+        start_ns=spec.start_ns,
+        src_port=src_port,
+        tag=spec.tag,
+    )
+
+
+def _chain_iterations(
+    spec: CollectiveSpec,
+    graph: FlowGraph,
+    iteration_roots: Dict[int, List[Flow]],
+    iteration_finals: Dict[int, Dict[int, List[int]]],
+) -> FlowGraph:
+    """Wire iteration ``k``'s roots to depend on iteration ``k-1``'s finals.
+
+    ``iteration_finals[k][host]`` lists the flow ids of iteration ``k``'s
+    last-step arrivals *into* ``host``; a root of iteration ``k+1`` sent by
+    that host depends on all of them, with ``compute_delay_ns`` applied.
+    """
+    for k in range(1, spec.iterations):
+        finals = iteration_finals[k - 1]
+        for root in iteration_roots[k]:
+            deps = finals.get(root.src)
+            if not deps:
+                continue
+            existing = root.depends_on or ()
+            root.depends_on = tuple(existing) + tuple(deps)
+            if spec.compute_delay_ns:
+                graph.compute_delay_ns[root.flow_id] = spec.compute_delay_ns
+    return graph
+
+
+def _ring_allreduce(spec: CollectiveSpec, workers: List[int], src_port: int) -> FlowGraph:
+    n = len(workers)
+    steps = 2 * (n - 1)
+    graph = FlowGraph()
+    iteration_roots: Dict[int, List[Flow]] = {}
+    iteration_finals: Dict[int, Dict[int, List[int]]] = {}
+    for k in range(spec.iterations):
+        # prev_step[i] = id of the step's flow *arriving at* worker slot i.
+        prev_step: List[Optional[int]] = [None] * n
+        roots: List[Flow] = []
+        for step in range(steps):
+            this_step: List[Optional[int]] = [None] * n
+            for i in range(n):
+                flow = _flow(spec, workers[i], workers[(i + 1) % n], src_port)
+                if step > 0:
+                    flow.depends_on = (prev_step[i],)
+                else:
+                    roots.append(flow)
+                graph.flows.append(flow)
+                this_step[(i + 1) % n] = flow.flow_id
+            prev_step = this_step
+        iteration_roots[k] = roots
+        iteration_finals[k] = {
+            workers[i]: [prev_step[i]] for i in range(n) if prev_step[i] is not None
+        }
+    return _chain_iterations(spec, graph, iteration_roots, iteration_finals)
+
+
+def _tree_allreduce(spec: CollectiveSpec, workers: List[int], src_port: int) -> FlowGraph:
+    n = len(workers)
+    graph = FlowGraph()
+    iteration_roots: Dict[int, List[Flow]] = {}
+    iteration_finals: Dict[int, Dict[int, List[int]]] = {}
+    children: Dict[int, List[int]] = {}
+    for i in range(1, n):
+        children.setdefault((i - 1) // 2, []).append(i)
+    for k in range(spec.iterations):
+        roots: List[Flow] = []
+        # Reduce up: node i sends to its parent once every child's chunk
+        # has arrived at i.  up_arrival[i] = flow ids arriving at node i.
+        up_arrival: Dict[int, List[int]] = {}
+        for i in range(n - 1, 0, -1):
+            flow = _flow(spec, workers[i], workers[(i - 1) // 2], src_port)
+            deps = up_arrival.get(i)
+            if deps:
+                flow.depends_on = tuple(deps)
+            else:
+                roots.append(flow)  # leaf: starts the iteration
+            graph.flows.append(flow)
+            up_arrival.setdefault((i - 1) // 2, []).append(flow.flow_id)
+        # Broadcast down: node i forwards to each child after its own
+        # down-arrival (the root forwards after the full reduction reached it).
+        down_arrival: Dict[int, int] = {}
+        finals: Dict[int, List[int]] = {}
+        for i in range(n):
+            kids = children.get(i, ())
+            if i == 0:
+                # The root forwards once the full reduction reached it.
+                deps = tuple(up_arrival.get(0, ()))
+            else:
+                deps = (down_arrival[i],)
+            for child in kids:
+                flow = _flow(spec, workers[i], workers[child], src_port)
+                flow.depends_on = deps
+                graph.flows.append(flow)
+                down_arrival[child] = flow.flow_id
+        for i in range(n):
+            if i in down_arrival:
+                finals[workers[i]] = [down_arrival[i]]
+            elif i == 0:
+                # The root never receives a broadcast; its iteration ends
+                # when the reduction arrives.
+                finals[workers[0]] = list(up_arrival.get(0, ()))
+        iteration_roots[k] = roots
+        iteration_finals[k] = finals
+    return _chain_iterations(spec, graph, iteration_roots, iteration_finals)
+
+
+def _all_to_all(spec: CollectiveSpec, workers: List[int], src_port: int) -> FlowGraph:
+    n = len(workers)
+    graph = FlowGraph()
+    iteration_roots: Dict[int, List[Flow]] = {}
+    iteration_finals: Dict[int, Dict[int, List[int]]] = {}
+    for k in range(spec.iterations):
+        prev_arrival: List[Optional[int]] = [None] * n
+        roots: List[Flow] = []
+        for phase in range(1, n):
+            this_arrival: List[Optional[int]] = [None] * n
+            for i in range(n):
+                flow = _flow(spec, workers[i], workers[(i + phase) % n], src_port)
+                if prev_arrival[i] is not None:
+                    flow.depends_on = (prev_arrival[i],)
+                else:
+                    roots.append(flow)
+                graph.flows.append(flow)
+                this_arrival[(i + phase) % n] = flow.flow_id
+            prev_arrival = this_arrival
+        iteration_roots[k] = roots
+        iteration_finals[k] = {
+            workers[i]: [prev_arrival[i]] for i in range(n) if prev_arrival[i] is not None
+        }
+    return _chain_iterations(spec, graph, iteration_roots, iteration_finals)

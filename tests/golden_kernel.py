@@ -17,6 +17,13 @@ distinct kernels: BFC (VFID table, Bloom pauses, physical queues), DCQCN
 fabric with a deliberately undersized buffer (tail drops, selective-repeat
 retransmissions, out-of-order reassembly), so a regression in any
 per-packet layer — including loss recovery — shows up as a record diff.
+
+Two further entries pin the subsystems added on top of those kernels:
+``BFC-Est`` runs the same slice with *stale* occupancy telemetry engaged
+(the :mod:`repro.core.telemetry` change-point history and its pause/resume
+read path), and ``BFC-Collective`` runs a ring all-reduce flow graph (the
+dependency-driven launcher of :mod:`repro.workloads.flowgraph`), so record
+drift in either subsystem is caught the same way kernel drift is.
 """
 
 from __future__ import annotations
@@ -26,14 +33,20 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List
 
+from repro.core.config import BfcConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.experiments.scenarios import fig5a_configs
+from repro.experiments.scenarios import collective_configs, fig5a_configs
 from repro.sim import units
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "kernel_records.json"
 
-#: Schemes exercised by the golden scenario (one per kernel family).
-GOLDEN_SCHEMES = ["BFC", "DCQCN", "HPCC", "DCQCN+IRN"]
+#: Entries exercised by the golden scenario (one per kernel family, plus the
+#: telemetry-estimator and flow-graph-launcher entries; the map key is the
+#: fixture label, not necessarily the scheme name).
+GOLDEN_SCHEMES = ["BFC", "DCQCN", "HPCC", "DCQCN+IRN", "BFC-Est", "BFC-Collective"]
+
+#: Kernel-family entries (built straight from the fig5a slice).
+GOLDEN_BASE_SCHEMES = ["BFC", "DCQCN", "HPCC", "DCQCN+IRN"]
 
 #: Shortened run window (the fig5a tiny default is 600 us + drain).
 GOLDEN_DURATION_NS = units.microseconds(300)
@@ -45,10 +58,15 @@ GOLDEN_SEED = 5
 #: forcing the selective-repeat recovery path onto the golden record.
 GOLDEN_IRN_BUFFER_DIVISOR = 8
 
+#: Telemetry delay of the BFC-Est entry: large enough that the estimator
+#: visibly diverges from exact BFC inside the short golden window (staleness
+#: 0 would be byte-identical to the plain BFC entry and pin nothing new).
+GOLDEN_EST_STALENESS_NS = 2_000
+
 
 def golden_configs():
-    """The fixed {scheme: ExperimentConfig} map of the golden scenario."""
-    configs = fig5a_configs("tiny", schemes=GOLDEN_SCHEMES, seed=GOLDEN_SEED)
+    """The fixed {label: ExperimentConfig} map of the golden scenario."""
+    configs = fig5a_configs("tiny", schemes=GOLDEN_BASE_SCHEMES, seed=GOLDEN_SEED)
     out = {}
     for scheme, config in configs.items():
         config = replace(config, duration_ns=GOLDEN_DURATION_NS)
@@ -57,6 +75,25 @@ def golden_configs():
                 config, buffer_bytes=config.buffer_bytes // GOLDEN_IRN_BUFFER_DIVISOR
             )
         out[scheme] = config
+
+    # Stale-telemetry estimator on the same slice (telemetry kernel entry).
+    est = fig5a_configs("tiny", schemes=["BFC-Est"], seed=GOLDEN_SEED)["BFC-Est"]
+    out["BFC-Est"] = replace(
+        est,
+        duration_ns=GOLDEN_DURATION_NS,
+        bfc_config=BfcConfig(
+            mtu=est.mtu, telemetry_staleness_ns=GOLDEN_EST_STALENESS_NS
+        ),
+    )
+
+    # Ring all-reduce flow graph under BFC (dependency-launcher entry).
+    out["BFC-Collective"] = collective_configs(
+        "tiny",
+        kinds=("ring-allreduce",),
+        schemes=("BFC",),
+        iterations=2,
+        seed=GOLDEN_SEED,
+    )["ring-allreduce/BFC"]
     return out
 
 

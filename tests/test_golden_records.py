@@ -1,12 +1,16 @@
-"""Golden-records equivalence: the refactored kernel vs the seed kernel.
+"""Golden-records equivalence: the current kernel vs the checked-in fixture.
 
-``tests/golden/kernel_records.json`` was generated by the *seed* kernel (the
-pre-tuple-heap, dataclass-packet implementation) on the scenario defined in
-:mod:`tests.golden_kernel`.  These tests assert that today's kernel produces
-byte-for-byte identical experiment records — flow completions, counters,
-samplers, event counts — so every performance refactor is provably
-behaviour-preserving.  If a PR *intends* to change behaviour, regenerate the
-fixture with ``python tests/golden_kernel.py --write`` and say so in the PR.
+``tests/golden/kernel_records.json`` holds the records of the scenario
+defined in :mod:`tests.golden_kernel`.  Its four kernel-family entries trace
+back to the *seed* kernel (the pre-tuple-heap, dataclass-packet
+implementation) and have survived every refactor since; entries for later
+subsystems (stale-telemetry BFC-Est, the flow-graph launcher) were appended
+when those subsystems landed, after verifying the existing entries byte-
+identical.  These tests assert that today's kernel reproduces the fixture
+byte-for-byte — flow completions, counters, samplers, event counts — so
+every performance refactor is provably behaviour-preserving.  If a PR
+*intends* to change behaviour, regenerate the fixture with
+``python tests/golden_kernel.py --write`` and say so in the PR.
 """
 
 import json

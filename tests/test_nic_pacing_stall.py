@@ -8,8 +8,10 @@ looked "good enough".  A flow blocked purely on pacing (congestion-control
 rate below line rate, no window) therefore got exactly one wake-up and then
 stalled forever unless unrelated traffic kicked the port.
 
-The fix treats ``handle.time <= now`` as dead and re-arms; this test (a
-strict xfail until the fixing PR) now pins the repaired behaviour.
+The fix treats ``handle.time <= now`` as dead and re-arms; this test pins
+the repaired behaviour.  (It started life as a strict xfail documenting the
+bug; the fix landed alongside the event-fusion work, so a regression now
+fails outright.)
 """
 
 from repro.sim.engine import Simulator
